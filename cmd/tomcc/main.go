@@ -1,0 +1,94 @@
+// Command tomcc runs TOM's offload-candidate selection (the §3.1 compiler
+// pass) over a kernel written in the project's PTX-like assembly and dumps
+// the offloading metadata table.
+//
+//	tomcc kernel.s
+//	tomcc -            # read from stdin
+//	tomcc -workload LIB  # analyze a built-in workload's kernels
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "analyze a built-in workload instead of a source file")
+	disasm := flag.Bool("d", false, "also print the disassembly")
+	flag.Parse()
+
+	var kernels []*isa.Kernel
+	switch {
+	case *workload != "":
+		w, err := workloads.ByAbbr(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		inst, err := w.Build(0.05)
+		if err != nil {
+			fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, l := range inst.Launches {
+			if !seen[l.Kernel.Name] {
+				seen[l.Kernel.Name] = true
+				kernels = append(kernels, l.Kernel)
+			}
+		}
+	case flag.NArg() == 1:
+		var src []byte
+		var err error
+		if flag.Arg(0) == "-" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(flag.Arg(0))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		kernels, err = isa.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tomcc [-d] <kernel.s | -> | tomcc -workload ABBR")
+		os.Exit(2)
+	}
+
+	for _, k := range kernels {
+		if *disasm {
+			fmt.Println(isa.Disassemble(k))
+		}
+		md, err := compiler.Analyze(k, compiler.DefaultCostParams())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kernel %s: %d instructions, %d registers, %d offload candidates\n",
+			k.Name, len(k.Instrs), k.NumRegs, len(md.Candidates))
+		for _, c := range md.Candidates {
+			fmt.Printf("  %s\n", c)
+			fmt.Printf("    live-in mask %#x, live-out mask %#x, tag TX=%v RX=%v\n",
+				c.LiveIn, c.LiveOut, c.SavesTX, c.SavesRX)
+			if c.Conditional() {
+				cond := c.Trip.Cond
+				bound := fmt.Sprintf("r%d", cond.BoundReg)
+				if !cond.BoundIsReg {
+					bound = fmt.Sprintf("%d", cond.BoundImm)
+				}
+				fmt.Printf("    condition: trips(r%d %s %s, step %d) >= %d\n",
+					cond.IndReg, cond.Cmp, bound, cond.Step, cond.MinTrips)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tomcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+// Command tomsim runs one workload under one system configuration and
+// prints the measured statistics.
+//
+//	tomsim -workload LIB -config ctrl-tmap -scale 1.0
+//	tomsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	tom "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	workload := flag.String("workload", "LIB", "workload abbreviation (see -list)")
+	config := flag.String("config", string(tom.TOM), "system configuration name")
+	scale := flag.Float64("scale", 1.0, "problem-size scale factor")
+	compare := flag.Bool("compare", true, "also run the baseline and report speedup")
+	list := flag.Bool("list", false, "list workloads and configurations")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range tom.Workloads() {
+			fmt.Printf("  %-4s %s — %s\n", w.Abbr, w.Name, w.Desc)
+		}
+		fmt.Println("configurations:")
+		for _, c := range []core.ConfigName{
+			core.CfgBaseline, core.CfgIdeal, core.CfgNoCtrlBmap, core.CfgNoCtrlTmap,
+			core.CfgCtrlBmap, core.CfgCtrlTmap, core.CfgCtrlOracle, core.CfgWarp2x,
+			core.CfgWarp4x, core.CfgInternal1x, core.CfgCross0125, core.CfgCross025,
+			core.CfgCross100, core.CfgNoCoherence,
+		} {
+			fmt.Printf("  %s\n", c)
+		}
+		return
+	}
+
+	r := tom.NewRunner(*scale)
+	r.Progress = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	res, err := r.Run(*workload, core.ConfigName(*config))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tomsim:", err)
+		os.Exit(1)
+	}
+	s := &res.Stats
+	fmt.Printf("workload       %s\nconfig         %s\n", res.Abbr, res.Config)
+	fmt.Printf("cycles         %d\nIPC            %.2f\n", s.Cycles, s.IPC())
+	fmt.Printf("thread instrs  %d (%.1f%% on stack SMs)\n", s.ThreadInstrs, s.OffloadedInstrFraction()*100)
+	fmt.Printf("off-chip bytes %d (RX %d, TX %d, mem-mem %d)\n",
+		s.OffChipBytes(), s.GPURXBytes, s.GPUTXBytes, s.CrossBytes)
+	fmt.Printf("offloads       %d sent, %d skipped (busy %d / full %d / cond %d)\n",
+		s.OffloadsSent, s.OffloadsSkippedBusy+s.OffloadsSkippedFull+s.OffloadsSkippedCond,
+		s.OffloadsSkippedBusy, s.OffloadsSkippedFull, s.OffloadsSkippedCond)
+	fmt.Printf("caches         L1 %.1f%%, L2 %.1f%%, stack L1 %.1f%%\n",
+		hitPct(s.L1Hits, s.L1Misses), hitPct(s.L2Hits, s.L2Misses), hitPct(s.StackL1Hits, s.StackL1Misses))
+	fmt.Printf("DRAM           %d activations, %.1f%% row hits\n",
+		s.DRAMActivations, hitPct(s.DRAMRowHits, s.DRAMActivations))
+	fmt.Printf("energy         %.3f mJ (SMs %.3f, links %.3f, DRAM %.3f)\n",
+		res.Energy.Total()*1e3, res.Energy.SMs*1e3, res.Energy.Links*1e3, res.Energy.DRAM*1e3)
+	if s.LearnCycles > 0 {
+		fmt.Printf("tmap learning  bit %d from %d instances in %d cycles; %d bytes re-mapped\n",
+			s.LearnedBit, s.LearnInstances, s.LearnCycles, s.CopiedBytes)
+	}
+	if *compare && res.Config != tom.Baseline {
+		base, err := r.Run(*workload, tom.Baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tomsim: baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("speedup        %.3fx over baseline (%d cycles)\n",
+			s.IPC()/base.Stats.IPC(), base.Stats.Cycles)
+	}
+}
+
+func hitPct(h, m uint64) float64 {
+	if h+m == 0 {
+		return 0
+	}
+	return 100 * float64(h) / float64(h+m)
+}

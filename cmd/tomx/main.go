@@ -1,0 +1,57 @@
+// Command tomx regenerates the paper's figures and tables.
+//
+//	tomx                       # all experiments at default scale
+//	tomx -exp fig8 -scale 0.5  # one experiment
+//	tomx -markdown             # emit EXPERIMENTS.md-style markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	tom "repro"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id ("+strings.Join(tom.ExperimentIDs(), ", ")+") or 'all'")
+	scale := flag.Float64("scale", 1.0, "problem-size scale factor")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	quiet := flag.Bool("q", false, "suppress per-run progress")
+	flag.Parse()
+
+	r := tom.NewRunner(*scale)
+	if !*quiet {
+		r.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var tables []*tom.Table
+	if *exp == "all" {
+		ts, err := r.AllExperiments()
+		if err != nil {
+			fatal(err)
+		}
+		tables = ts
+	} else {
+		t, err := r.Experiment(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		tables = []*tom.Table{t}
+	}
+	for _, t := range tables {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tomx:", err)
+	os.Exit(1)
+}

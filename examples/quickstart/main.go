@@ -1,0 +1,48 @@
+// Quickstart: run the Scalar Product workload on the baseline GPU and on
+// the full TOM system, and print the headline comparison. (Try "LIB" — the
+// paper's running example — or any other Table 2 abbreviation by editing
+// the Run calls.)
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tom "repro"
+)
+
+func main() {
+	const scale = 0.5 // keep the example snappy; 1.0 = benchmark size
+
+	runner := tom.NewRunner(scale)
+	runner.Progress = log.Printf
+
+	base, err := runner.Run("SP", tom.Baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ndp, err := runner.Run("SP", tom.TOM)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Scalar Product under TOM (Transparent Offloading and Mapping)")
+	fmt.Printf("  baseline (68 SMs, no NDP):  %8d cycles, IPC %6.1f\n",
+		base.Stats.Cycles, base.Stats.IPC())
+	fmt.Printf("  TOM (ctrl offload + tmap):  %8d cycles, IPC %6.1f\n",
+		ndp.Stats.Cycles, ndp.Stats.IPC())
+	fmt.Printf("  speedup:                    %8.2fx\n", ndp.Stats.IPC()/base.Stats.IPC())
+	fmt.Printf("  off-chip traffic:           %8.1f MB -> %.1f MB (%.0f%%)\n",
+		mb(base.Stats.OffChipBytes()), mb(ndp.Stats.OffChipBytes()),
+		100*float64(ndp.Stats.OffChipBytes())/float64(base.Stats.OffChipBytes()))
+	fmt.Printf("  offloads sent:              %8d (%.1f%% of instructions ran in-stack)\n",
+		ndp.Stats.OffloadsSent, 100*ndp.Stats.OffloadedInstrFraction())
+	fmt.Printf("  learned mapping:            bit %d from %d candidate instances\n",
+		ndp.Stats.LearnedBit, ndp.Stats.LearnInstances)
+	fmt.Printf("  energy:                     %8.2f mJ -> %.2f mJ\n",
+		base.Energy.Total()*1e3, ndp.Energy.Total()*1e3)
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,60 @@
+// Package area reproduces the paper's §6.6 hardware-cost estimate: the
+// storage added by TOM (Memory Map Analyzer, memory allocation table,
+// offloading metadata table) in bits, and its silicon area at 40 nm via a
+// per-bit constant standing in for CACTI 6.5.
+package area
+
+import (
+	"repro/internal/mapping"
+	"repro/internal/mem"
+)
+
+// Model parameters per §6.6.
+const (
+	// MetadataEntryBits is one offloading metadata table entry (begin/end
+	// PCs, live-in/live-out bit vectors, 2-bit channel tag, condition).
+	MetadataEntryBits = 258
+	// MetadataEntries is the provisioned table depth (2x the maximum
+	// observed across the paper's workloads).
+	MetadataEntries = 40
+	// AllocTableEntries is the provisioned allocation-table depth.
+	AllocTableEntries = 100
+
+	// MM2PerBit is the CACTI-substitute storage density at 40 nm,
+	// calibrated so the paper's bit counts land on its 0.11 mm² total.
+	MM2PerBit = 1.39e-7
+	// GPUAreaMM2 is the modeled GPU die area (0.11 mm² = 0.018% of it).
+	GPUAreaMM2 = 611.0
+)
+
+// Estimate is the §6.6 cost summary.
+type Estimate struct {
+	AnalyzerBitsPerSM int
+	AllocTableBits    int // shared across SMs
+	MetadataBitsPerSM int
+	MainSMs           int
+	TotalBits         int
+	AreaMM2           float64
+	GPUFraction       float64
+}
+
+// Estimate64 computes the estimate for the default 64-SM main GPU with 48
+// warps per SM, matching the paper's numbers: 1,920 + 10,320 bits per SM
+// and 9,700 bits shared.
+func Estimate64() Estimate {
+	return For(64, 48)
+}
+
+// For computes the estimate for a given SM count and warp capacity.
+func For(mainSMs, warpsPerSM int) Estimate {
+	e := Estimate{
+		AnalyzerBitsPerSM: mapping.StorageBitsPerSM(warpsPerSM),
+		AllocTableBits:    mem.StorageBits() * AllocTableEntries,
+		MetadataBitsPerSM: MetadataEntryBits * MetadataEntries,
+		MainSMs:           mainSMs,
+	}
+	e.TotalBits = mainSMs*(e.AnalyzerBitsPerSM+e.MetadataBitsPerSM) + e.AllocTableBits
+	e.AreaMM2 = float64(e.TotalBits) * MM2PerBit
+	e.GPUFraction = e.AreaMM2 / GPUAreaMM2
+	return e
+}

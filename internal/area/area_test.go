@@ -1,0 +1,46 @@
+package area
+
+import "testing"
+
+func TestEstimateMatchesPaperNumbers(t *testing.T) {
+	e := Estimate64()
+	if e.AnalyzerBitsPerSM != 1920 {
+		t.Errorf("analyzer bits/SM = %d, want 1920 (paper §6.6)", e.AnalyzerBitsPerSM)
+	}
+	if e.AllocTableBits != 9700 {
+		t.Errorf("alloc table bits = %d, want 9700", e.AllocTableBits)
+	}
+	if e.MetadataBitsPerSM != 10320 {
+		t.Errorf("metadata bits/SM = %d, want 10320", e.MetadataBitsPerSM)
+	}
+	wantTotal := 64*(1920+10320) + 9700
+	if e.TotalBits != wantTotal {
+		t.Errorf("total bits = %d, want %d", e.TotalBits, wantTotal)
+	}
+	if e.AreaMM2 < 0.10 || e.AreaMM2 > 0.12 {
+		t.Errorf("area = %v mm^2, want ~0.11", e.AreaMM2)
+	}
+	if e.GPUFraction < 0.00015 || e.GPUFraction > 0.00021 {
+		t.Errorf("GPU fraction = %v, want ~0.018%%", e.GPUFraction)
+	}
+}
+
+func TestEstimateScalesWithSMs(t *testing.T) {
+	small := For(16, 48)
+	big := For(128, 48)
+	if big.TotalBits <= small.TotalBits {
+		t.Error("more SMs must cost more storage")
+	}
+	// The shared allocation table does not scale with SM count.
+	if big.AllocTableBits != small.AllocTableBits {
+		t.Error("allocation table is shared")
+	}
+}
+
+func TestEstimateScalesWithWarps(t *testing.T) {
+	one := For(64, 48)
+	two := For(64, 96)
+	if two.AnalyzerBitsPerSM != 2*one.AnalyzerBitsPerSM {
+		t.Error("analyzer storage scales with concurrent warps")
+	}
+}

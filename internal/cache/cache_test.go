@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(32*1024, 4, 128)
+	if c.Access(0x1000) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x1000) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x1000 + 127) {
+		t.Error("same-line access should hit")
+	}
+	if c.Access(0x1000 + 128) {
+		t.Error("next line should miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-equivalent pressure: 4-way set, fill 5 lines mapping
+	// to the same set; the first (least recently used) must be evicted.
+	c := New(4*128, 4, 128) // 1 set, 4 ways
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i * 128)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if !c.Lookup(i * 128) {
+			t.Fatalf("line %d should be resident", i)
+		}
+	}
+	// Touch lines 1..3 so line 0 is LRU, then insert line 4.
+	for i := uint64(1); i < 4; i++ {
+		c.Lookup(i * 128)
+	}
+	c.Access(4 * 128)
+	if c.Lookup(0) {
+		t.Error("line 0 should have been evicted")
+	}
+	if !c.Lookup(4 * 128) {
+		t.Error("line 4 should be resident")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(32*1024, 4, 128)
+	c.Access(0x4000)
+	if !c.Invalidate(0x4000) {
+		t.Error("invalidate should find the line")
+	}
+	if c.Invalidate(0x4000) {
+		t.Error("double invalidate should miss")
+	}
+	if c.Lookup(0x4000) {
+		t.Error("line should be gone")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New(32*1024, 4, 128)
+	for i := uint64(0); i < 100; i++ {
+		c.Access(i * 128)
+	}
+	if c.Resident() == 0 {
+		t.Fatal("expected resident lines")
+	}
+	c.InvalidateAll()
+	if c.Resident() != 0 {
+		t.Errorf("resident = %d after InvalidateAll", c.Resident())
+	}
+}
+
+func TestResidencyNeverExceedsCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		c := New(8*1024, 4, 128) // 64 lines
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			c.Access(uint64(r.Intn(1 << 20)))
+		}
+		return c.Resident() <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetFitsPerfectly(t *testing.T) {
+	// A working set equal to capacity must reach 100% hits after warmup.
+	c := New(8*1024, 4, 128)
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < 64; i++ {
+			c.Access(i * 128)
+		}
+	}
+	h0 := c.Hits
+	for i := uint64(0); i < 64; i++ {
+		if !c.Access(i * 128) {
+			t.Fatalf("line %d missed with resident working set", i)
+		}
+	}
+	if c.Hits != h0+64 {
+		t.Errorf("hits = %d, want %d", c.Hits, h0+64)
+	}
+}
+
+func TestFillIdempotent(t *testing.T) {
+	c := New(32*1024, 4, 128)
+	c.Fill(0x2000)
+	c.Fill(0x2000)
+	if c.Resident() != 1 {
+		t.Errorf("resident = %d, want 1", c.Resident())
+	}
+}

@@ -1,0 +1,308 @@
+// Package cfgx provides control-flow analysis over isa kernels: basic
+// blocks, dominators and post-dominators (used for SIMT reconvergence),
+// natural-loop detection, and register liveness. The offload-candidate
+// compiler pass and the warp executor are both built on it.
+package cfgx
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/isa"
+)
+
+// Block is a basic block covering instructions [Start, End).
+type Block struct {
+	ID         int
+	Start, End int
+	Succs      []int // successor block IDs; exitID denotes kernel exit
+	Preds      []int
+}
+
+// Graph is the CFG of a kernel. Block 0 is the entry block. A virtual exit
+// node with ID len(Blocks) gathers all OpExit terminators.
+type Graph struct {
+	Kernel  *isa.Kernel
+	Blocks  []*Block
+	BlockOf []int // instruction index -> block ID
+}
+
+// ExitID returns the ID of the virtual exit node.
+func (g *Graph) ExitID() int { return len(g.Blocks) }
+
+// Build constructs the CFG for k.
+func Build(k *isa.Kernel) (*Graph, error) {
+	n := len(k.Instrs)
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc, in := range k.Instrs {
+		switch in.Op {
+		case isa.OpBra:
+			leader[in.Target] = true
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		case isa.OpExit:
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+	}
+	g := &Graph{Kernel: k, BlockOf: make([]int, n)}
+	for pc := 0; pc < n; {
+		end := pc + 1
+		for end < n && !leader[end] {
+			end++
+		}
+		b := &Block{ID: len(g.Blocks), Start: pc, End: end}
+		g.Blocks = append(g.Blocks, b)
+		for i := pc; i < end; i++ {
+			g.BlockOf[i] = b.ID
+		}
+		pc = end
+	}
+	exit := g.ExitID()
+	addEdge := func(from, to int) {
+		b := g.Blocks[from]
+		for _, s := range b.Succs {
+			if s == to {
+				return
+			}
+		}
+		b.Succs = append(b.Succs, to)
+		if to != exit {
+			t := g.Blocks[to]
+			t.Preds = append(t.Preds, from)
+		}
+	}
+	for _, b := range g.Blocks {
+		last := k.Instrs[b.End-1]
+		switch last.Op {
+		case isa.OpExit:
+			addEdge(b.ID, exit)
+		case isa.OpBra:
+			addEdge(b.ID, g.BlockOf[last.Target])
+			if last.A.Kind != isa.OpdNone { // conditional: fall through too
+				if b.End >= n {
+					return nil, fmt.Errorf("cfgx: kernel %q: conditional branch at %d falls off the end", k.Name, b.End-1)
+				}
+				addEdge(b.ID, g.BlockOf[b.End])
+			}
+		default:
+			if b.End >= n {
+				return nil, fmt.Errorf("cfgx: kernel %q: control falls off the end at %d", k.Name, b.End-1)
+			}
+			addEdge(b.ID, g.BlockOf[b.End])
+		}
+	}
+	return g, nil
+}
+
+// PostDominators returns, for each block, its immediate post-dominator
+// block ID. The virtual exit node post-dominates everything; ipdom values
+// may be ExitID(). Unreachable-from-exit blocks (infinite loops) get -1.
+func (g *Graph) PostDominators() []int {
+	nb := len(g.Blocks)
+	exit := g.ExitID()
+	// pdom sets via iterative dataflow on the reverse CFG, bitset-based.
+	words := (nb + 2 + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i <= nb; i++ {
+		full[i/64] |= 1 << (i % 64)
+	}
+	pdom := make([][]uint64, nb+1)
+	for i := range pdom {
+		pdom[i] = make([]uint64, words)
+		copy(pdom[i], full)
+	}
+	// exit node post-dominates only itself.
+	for w := range pdom[exit] {
+		pdom[exit][w] = 0
+	}
+	pdom[exit][exit/64] = 1 << (exit % 64)
+
+	changed := true
+	tmp := make([]uint64, words)
+	for changed {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			if len(b.Succs) == 0 {
+				continue
+			}
+			copy(tmp, full)
+			for _, s := range b.Succs {
+				for w := range tmp {
+					tmp[w] &= pdom[s][w]
+				}
+			}
+			tmp[i/64] |= 1 << (i % 64)
+			for w := range tmp {
+				if tmp[w] != pdom[i][w] {
+					changed = true
+					copy(pdom[i], tmp)
+					break
+				}
+			}
+		}
+	}
+	// Immediate post-dominator: the post-dominator (other than the block
+	// itself) that is post-dominated by every other post-dominator of the
+	// block, i.e. the closest one. Find it by picking the candidate whose
+	// pdom set is largest (closest to the block).
+	ipdom := make([]int, nb)
+	for i := 0; i < nb; i++ {
+		best, bestSize := -1, -1
+		for j := 0; j <= nb; j++ {
+			if j == i || pdom[i][j/64]&(1<<(j%64)) == 0 {
+				continue
+			}
+			size := 0
+			for _, w := range pdom[j] {
+				size += bits.OnesCount64(w)
+			}
+			if size > bestSize {
+				best, bestSize = j, size
+			}
+		}
+		ipdom[i] = best
+	}
+	return ipdom
+}
+
+// backEdge is a CFG edge latch->header where header dominates latch.
+type backEdge struct{ latch, header int }
+
+// Dominators returns, for each block, the set of blocks dominating it,
+// as bitsets (including itself).
+func (g *Graph) Dominators() [][]uint64 {
+	nb := len(g.Blocks)
+	words := (nb + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i < nb; i++ {
+		full[i/64] |= 1 << (i % 64)
+	}
+	dom := make([][]uint64, nb)
+	for i := range dom {
+		dom[i] = make([]uint64, words)
+		copy(dom[i], full)
+	}
+	for w := range dom[0] {
+		dom[0][w] = 0
+	}
+	dom[0][0] = 1
+	changed := true
+	tmp := make([]uint64, words)
+	for changed {
+		changed = false
+		for i := 1; i < nb; i++ {
+			b := g.Blocks[i]
+			copy(tmp, full)
+			if len(b.Preds) == 0 {
+				// Unreachable: dominated by everything; leave as full.
+				continue
+			}
+			for _, p := range b.Preds {
+				for w := range tmp {
+					tmp[w] &= dom[p][w]
+				}
+			}
+			tmp[i/64] |= 1 << (i % 64)
+			for w := range tmp {
+				if tmp[w] != dom[i][w] {
+					changed = true
+					copy(dom[i], tmp)
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// Loop describes a natural loop whose body is a contiguous instruction
+// range — the shape the offload compiler can reason about. Header is the
+// first block; the latch holds the backward branch.
+type Loop struct {
+	HeaderBlock int
+	LatchBlock  int
+	// StartPC/EndPC delimit the loop region [StartPC, EndPC): EndPC is the
+	// instruction after the latch's backward branch.
+	StartPC, EndPC int
+	// Blocks lists member block IDs.
+	Blocks []int
+	// Contiguous reports whether every member block lies within
+	// [StartPC, EndPC); only contiguous loops are offload candidates.
+	Contiguous bool
+}
+
+// Loops detects natural loops. Loops sharing a header are merged.
+func (g *Graph) Loops() []Loop {
+	dom := g.Dominators()
+	nb := len(g.Blocks)
+	var edges []backEdge
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == g.ExitID() {
+				continue
+			}
+			if dom[b.ID][s/64]&(1<<(s%64)) != 0 { // s dominates b
+				edges = append(edges, backEdge{latch: b.ID, header: s})
+			}
+		}
+	}
+	byHeader := map[int]map[int]bool{}
+	latchOf := map[int]int{}
+	for _, e := range edges {
+		body := byHeader[e.header]
+		if body == nil {
+			body = map[int]bool{e.header: true}
+			byHeader[e.header] = body
+		}
+		// Nodes that reach the latch without passing through the header.
+		stack := []int{e.latch}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if body[n] {
+				continue
+			}
+			body[n] = true
+			for _, p := range g.Blocks[n].Preds {
+				stack = append(stack, p)
+			}
+		}
+		if l, ok := latchOf[e.header]; !ok || g.Blocks[e.latch].End > g.Blocks[l].End {
+			latchOf[e.header] = e.latch
+		}
+	}
+	var loops []Loop
+	for h := 0; h < nb; h++ {
+		body, ok := byHeader[h]
+		if !ok {
+			continue
+		}
+		latch := latchOf[h]
+		l := Loop{
+			HeaderBlock: h,
+			LatchBlock:  latch,
+			StartPC:     g.Blocks[h].Start,
+			EndPC:       g.Blocks[latch].End,
+			Contiguous:  true,
+		}
+		for id := range body {
+			l.Blocks = append(l.Blocks, id)
+			if g.Blocks[id].Start < l.StartPC || g.Blocks[id].End > l.EndPC {
+				l.Contiguous = false
+			}
+		}
+		loops = append(loops, l)
+	}
+	// Deterministic order by StartPC.
+	for i := 1; i < len(loops); i++ {
+		for j := i; j > 0 && loops[j-1].StartPC > loops[j].StartPC; j-- {
+			loops[j-1], loops[j] = loops[j], loops[j-1]
+		}
+	}
+	return loops
+}

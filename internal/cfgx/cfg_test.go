@@ -1,0 +1,278 @@
+package cfgx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// diamond: if/else that reconverges, then exit.
+func diamondKernel(t *testing.T) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("diamond", 1)
+	b.Setp(1, isa.CmpLT, isa.Sp(isa.SpGtid), isa.R(0))
+	b.BraIfNot(isa.R(1), "else")
+	b.MovI(2, 1)
+	b.Bra("join")
+	b.Label("else")
+	b.MovI(2, 2)
+	b.Label("join")
+	b.Add(3, isa.R(2), isa.Imm(1))
+	b.Exit()
+	return b.MustBuild()
+}
+
+// loop: counted loop with live-in bound and live-out accumulator.
+func loopKernel(t *testing.T) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("loop", 2) // r0 = base, r1 = n
+	b.MovI(2, 0)                   // i
+	b.MovI(3, 0)                   // acc
+	b.Label("top")
+	b.Shl(4, isa.R(2), isa.Imm(2))
+	b.Add(4, isa.R(0), isa.R(4))
+	b.Ld(5, isa.R(4), 0)
+	b.Add(3, isa.R(3), isa.R(5))
+	b.Add(2, isa.R(2), isa.Imm(1))
+	b.Setp(6, isa.CmpLT, isa.R(2), isa.R(1))
+	b.BraIf(isa.R(6), "top")
+	b.St(isa.R(0), 0, isa.R(3)) // acc is live out of the loop
+	b.Exit()
+	return b.MustBuild()
+}
+
+func TestBuildDiamond(t *testing.T) {
+	g, err := Build(diamondKernel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	// Entry has two successors (then, else).
+	if len(g.Blocks[0].Succs) != 2 {
+		t.Errorf("entry succs = %v", g.Blocks[0].Succs)
+	}
+	// Join block has two predecessors.
+	join := g.BlockOf[5]
+	if len(g.Blocks[join].Preds) != 2 {
+		t.Errorf("join preds = %v", g.Blocks[join].Preds)
+	}
+}
+
+func TestReconvergenceDiamond(t *testing.T) {
+	k := diamondKernel(t)
+	inf, err := Analyze(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The conditional branch at pc=1 must reconverge at the join (pc=5).
+	if inf.Reconv[1] != 5 {
+		t.Errorf("Reconv[1] = %d, want 5", inf.Reconv[1])
+	}
+	// The unconditional branch (pc=3) targets the join as well.
+	if inf.Reconv[3] != 5 {
+		t.Errorf("Reconv[3] = %d, want 5", inf.Reconv[3])
+	}
+}
+
+func TestReconvergenceLoop(t *testing.T) {
+	k := loopKernel(t)
+	inf, err := Analyze(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backward branch at pc=8 reconverges at the loop exit (pc=9).
+	if inf.Reconv[8] != 9 {
+		t.Errorf("Reconv[8] = %d, want 9", inf.Reconv[8])
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	k := loopKernel(t)
+	g, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.StartPC != 2 || l.EndPC != 9 {
+		t.Errorf("loop region [%d,%d), want [2,9)", l.StartPC, l.EndPC)
+	}
+	if !l.Contiguous {
+		t.Error("loop should be contiguous")
+	}
+}
+
+func TestRegionLiveInOutLoop(t *testing.T) {
+	k := loopKernel(t)
+	inf, err := Analyze(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveIn, liveOut, err := inf.RegionLiveInOut(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live-in: r0 (base), r1 (bound), r2 (i), r3 (acc).
+	wantIn := uint64(1<<0 | 1<<1 | 1<<2 | 1<<3)
+	if liveIn != wantIn {
+		t.Errorf("liveIn = %#x, want %#x", liveIn, wantIn)
+	}
+	// Live-out: r3 (acc) is stored after the loop. r2, r4..r6 die.
+	wantOut := uint64(1 << 3)
+	if liveOut != wantOut {
+		t.Errorf("liveOut = %#x, want %#x", liveOut, wantOut)
+	}
+}
+
+func TestRegionErrors(t *testing.T) {
+	inf, err := Analyze(loopKernel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := inf.RegionLiveInOut(3, 9); err == nil {
+		t.Error("non-leader start should fail")
+	}
+	// Truncated regions (ending mid-block) are permitted: the compiler
+	// trims trailing branches, so [2,5) analyzes the block prefix.
+	if _, _, err := inf.RegionLiveInOut(2, 5); err != nil {
+		t.Errorf("truncated region should analyze: %v", err)
+	}
+	if _, _, err := inf.RegionLiveInOut(9, 2); err == nil {
+		t.Error("inverted region should fail")
+	}
+}
+
+func TestFallOffEndRejected(t *testing.T) {
+	k := &isa.Kernel{Name: "bad", NumRegs: 2, Instrs: []isa.Instr{
+		{Op: isa.OpMov, Dst: 1, HasDst: true, A: isa.Imm(0)},
+	}}
+	if _, err := Build(k); err == nil {
+		t.Error("kernel falling off the end should fail CFG build")
+	}
+}
+
+// naiveLiveness recomputes per-instruction liveness with a direct
+// instruction-granularity fixpoint, independent of the block-based
+// implementation, for cross-checking.
+func naiveLiveness(k *isa.Kernel) []uint64 {
+	n := len(k.Instrs)
+	liveBefore := make([]uint64, n+1)
+	succs := func(pc int) []int {
+		in := k.Instrs[pc]
+		switch in.Op {
+		case isa.OpExit:
+			return nil
+		case isa.OpBra:
+			if in.A.Kind == isa.OpdNone {
+				return []int{in.Target}
+			}
+			return []int{in.Target, pc + 1}
+		default:
+			return []int{pc + 1}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for pc := n - 1; pc >= 0; pc-- {
+			var out uint64
+			for _, s := range succs(pc) {
+				if s < n {
+					out |= liveBefore[s]
+				}
+			}
+			in := k.Instrs[pc]
+			nv := (out &^ in.DstRegs()) | in.SrcRegs()
+			if nv != liveBefore[pc] {
+				liveBefore[pc] = nv
+				changed = true
+			}
+		}
+	}
+	return liveBefore
+}
+
+// randomKernel generates a random but well-formed kernel: straight-line
+// ALU/memory code with a sprinkling of forward conditional branches and at
+// most one backward branch, always terminated by exit.
+func randomKernel(r *rand.Rand) *isa.Kernel {
+	n := 5 + r.Intn(25)
+	nregs := 4 + r.Intn(12)
+	instrs := make([]isa.Instr, 0, n+1)
+	randReg := func() isa.Reg { return isa.Reg(r.Intn(nregs)) }
+	randOpd := func() isa.Operand {
+		if r.Intn(3) == 0 {
+			return isa.Imm(int64(r.Intn(100)))
+		}
+		return isa.R(randReg())
+	}
+	for i := 0; i < n; i++ {
+		switch r.Intn(6) {
+		case 0:
+			instrs = append(instrs, isa.Instr{Op: isa.OpLdGlobal, Dst: randReg(), HasDst: true, A: isa.R(randReg())})
+		case 1:
+			instrs = append(instrs, isa.Instr{Op: isa.OpStGlobal, A: isa.R(randReg()), B: randOpd()})
+		case 2:
+			// Forward conditional branch (target fixed up below).
+			instrs = append(instrs, isa.Instr{Op: isa.OpBra, A: isa.R(randReg()), Target: -1})
+		default:
+			instrs = append(instrs, isa.Instr{Op: isa.OpAdd, Dst: randReg(), HasDst: true, A: randOpd(), B: randOpd()})
+		}
+	}
+	instrs = append(instrs, isa.Instr{Op: isa.OpExit})
+	for pc := range instrs {
+		if instrs[pc].Op == isa.OpBra {
+			// Forward target strictly after pc, at most the exit.
+			lo := pc + 1
+			instrs[pc].Target = lo + r.Intn(len(instrs)-lo)
+		}
+	}
+	return &isa.Kernel{Name: "rand", NumRegs: nregs, Instrs: instrs}
+}
+
+func TestLivenessMatchesNaiveOnRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		k := randomKernel(r)
+		if err := k.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid kernel: %v", trial, err)
+		}
+		inf, err := Analyze(k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := naiveLiveness(k)
+		for pc := range k.Instrs {
+			if inf.LiveBefore[pc] != want[pc] {
+				t.Fatalf("trial %d: LiveBefore[%d] = %#x, want %#x\nkernel:\n%s",
+					trial, pc, inf.LiveBefore[pc], want[pc], isa.Disassemble(k))
+			}
+		}
+	}
+}
+
+func TestDominatorsEntryDominatesAll(t *testing.T) {
+	for _, k := range []*isa.Kernel{diamondKernel(t), loopKernel(t)} {
+		g, err := Build(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom := g.Dominators()
+		for i := range g.Blocks {
+			if len(g.Blocks[i].Preds) == 0 && i != 0 {
+				continue // unreachable
+			}
+			if dom[i][0]&1 == 0 {
+				t.Errorf("kernel %s: entry does not dominate block %d", k.Name, i)
+			}
+			if dom[i][i/64]&(1<<(i%64)) == 0 {
+				t.Errorf("kernel %s: block %d does not dominate itself", k.Name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package cfgx
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Info bundles the analyses the executor and the offload compiler need.
+type Info struct {
+	Graph *Graph
+	// Reconv[pc] is the SIMT reconvergence PC for the branch at pc: the
+	// start of the branch block's immediate post-dominator. For
+	// non-branch instructions the entry is -1. A value of len(Instrs)
+	// means "reconverge at kernel exit".
+	Reconv []int
+	// LiveBefore[pc] is the set of general registers live immediately
+	// before instruction pc; LiveBefore[len(Instrs)] is empty.
+	LiveBefore []uint64
+}
+
+// Analyze builds the CFG and computes reconvergence points and liveness.
+func Analyze(k *isa.Kernel) (*Info, error) {
+	g, err := Build(k)
+	if err != nil {
+		return nil, err
+	}
+	n := len(k.Instrs)
+	info := &Info{Graph: g, Reconv: make([]int, n), LiveBefore: make([]uint64, n+1)}
+
+	ipdom := g.PostDominators()
+	for pc := range info.Reconv {
+		info.Reconv[pc] = -1
+	}
+	for _, b := range g.Blocks {
+		last := b.End - 1
+		if k.Instrs[last].Op != isa.OpBra {
+			continue
+		}
+		ip := ipdom[b.ID]
+		switch {
+		case ip < 0 || ip == g.ExitID():
+			info.Reconv[last] = n
+		default:
+			info.Reconv[last] = g.Blocks[ip].Start
+		}
+	}
+
+	// Per-block use/def for upward-exposed uses.
+	nb := len(g.Blocks)
+	use := make([]uint64, nb)
+	def := make([]uint64, nb)
+	for _, b := range g.Blocks {
+		for pc := b.Start; pc < b.End; pc++ {
+			in := k.Instrs[pc]
+			use[b.ID] |= in.SrcRegs() &^ def[b.ID]
+			def[b.ID] |= in.DstRegs()
+		}
+	}
+	liveIn := make([]uint64, nb)
+	liveOut := make([]uint64, nb)
+	for changed := true; changed; {
+		changed = false
+		for i := nb - 1; i >= 0; i-- {
+			var out uint64
+			for _, s := range g.Blocks[i].Succs {
+				if s != g.ExitID() {
+					out |= liveIn[s]
+				}
+			}
+			in := use[i] | (out &^ def[i])
+			if out != liveOut[i] || in != liveIn[i] {
+				liveOut[i], liveIn[i] = out, in
+				changed = true
+			}
+		}
+	}
+	// Per-instruction live-before by backward scan within each block.
+	for _, b := range g.Blocks {
+		live := liveOut[b.ID]
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			in := k.Instrs[pc]
+			live = (live &^ in.DstRegs()) | in.SrcRegs()
+			info.LiveBefore[pc] = live
+		}
+	}
+	return info, nil
+}
+
+// RegionLiveInOut computes, for the single-entry region [start, end) whose
+// only exit is falling into end, the registers that must be transferred in
+// (used before defined within the region) and out (defined within the
+// region and live after it). These are the paper's REG_TX and REG_RX sets.
+func (inf *Info) RegionLiveInOut(start, end int) (liveInMask, liveOutMask uint64, err error) {
+	g := inf.Graph
+	k := g.Kernel
+	if start < 0 || end > len(k.Instrs) || start >= end {
+		return 0, 0, fmt.Errorf("cfgx: bad region [%d,%d)", start, end)
+	}
+	if g.Blocks[g.BlockOf[start]].Start != start {
+		return 0, 0, fmt.Errorf("cfgx: region start %d is not a block leader", start)
+	}
+	// Gather member blocks. The block containing end may be truncated at
+	// end (the caller trimmed a trailing branch/exit); everything else
+	// must lie fully inside the region.
+	var members []int
+	trunc := map[int]int{} // block ID -> effective end pc
+	for _, b := range g.Blocks {
+		if b.Start >= start && b.Start < end {
+			e := b.End
+			if e > end {
+				e = end
+			}
+			members = append(members, b.ID)
+			trunc[b.ID] = e
+		}
+	}
+	inside := map[int]bool{}
+	for _, id := range members {
+		inside[id] = true
+	}
+	// Region-local liveness with boundary live-out = 0 gives the
+	// upward-exposed uses at the region entry.
+	use := map[int]uint64{}
+	def := map[int]uint64{}
+	var defAll uint64
+	for _, id := range members {
+		b := g.Blocks[id]
+		var u, d uint64
+		for pc := b.Start; pc < trunc[id]; pc++ {
+			in := k.Instrs[pc]
+			u |= in.SrcRegs() &^ d
+			d |= in.DstRegs()
+		}
+		use[id], def[id] = u, d
+		defAll |= d
+	}
+	liveIn := map[int]uint64{}
+	for changed := true; changed; {
+		changed = false
+		for i := len(members) - 1; i >= 0; i-- {
+			id := members[i]
+			var out uint64
+			for _, s := range g.Blocks[id].Succs {
+				if inside[s] {
+					out |= liveIn[s]
+				}
+			}
+			in := use[id] | (out &^ def[id])
+			if in != liveIn[id] {
+				liveIn[id] = in
+				changed = true
+			}
+		}
+	}
+	entry := g.BlockOf[start]
+	return liveIn[entry], defAll & inf.LiveBefore[end], nil
+}

@@ -1,0 +1,256 @@
+package compiler
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/cfgx"
+	"repro/internal/isa"
+)
+
+// Candidate is one offloading-candidate region with everything the paper's
+// offloading metadata table holds (§4.2): PCs, live-in/live-out register
+// sets, the 2-bit TX/RX savings tag, and the conditional-offload hint.
+type Candidate struct {
+	ID             int
+	StartPC, EndPC int // region [StartPC, EndPC); control exits by reaching EndPC
+
+	LiveIn, LiveOut uint64 // register bitmasks (REG_TX / REG_RX sets)
+
+	// Static per-trip global memory instruction counts.
+	NLD, NST int
+
+	IsLoop bool
+	Trip   TripInfo
+
+	// ALUFrac is the static fraction of non-memory, non-control
+	// instructions in the region — the signal the extension's ALU-aware
+	// aggressiveness control uses (the paper's §6.4 future work).
+	ALUFrac float64
+
+	// BWTX/BWRX are the estimated bandwidth deltas (equations (3)/(4))
+	// at the trip count used for the offload decision (static count, the
+	// conditional threshold, or 1). Negative = saving.
+	BWTX, BWRX float64
+
+	// SavesTX/SavesRX form the 2-bit tag the dynamic aggressiveness
+	// control consults (§3.3): whether offloading reduces traffic on
+	// each channel.
+	SavesTX, SavesRX bool
+}
+
+// NumLiveIn returns |REG_TX|.
+func (c *Candidate) NumLiveIn() int { return bits.OnesCount64(c.LiveIn) }
+
+// NumLiveOut returns |REG_RX|.
+func (c *Candidate) NumLiveOut() int { return bits.OnesCount64(c.LiveOut) }
+
+// Conditional reports whether the candidate carries a runtime condition.
+func (c *Candidate) Conditional() bool {
+	return c.IsLoop && !c.Trip.Known && c.Trip.Cond != nil && c.Trip.Cond.MinTrips > 1
+}
+
+// MetadataEntryBits is the paper's §6.6 estimate of one offloading metadata
+// table entry: begin/end PCs, live-in/live-out bit vectors, the 2-bit
+// channel tag, and the offload condition.
+const MetadataEntryBits = 258
+
+// Metadata is the compiler's per-kernel output: the offloading metadata
+// table plus the analyses the simulator reuses.
+type Metadata struct {
+	Kernel     *isa.Kernel
+	Info       *cfgx.Info
+	Candidates []*Candidate
+
+	byStart map[int]*Candidate
+}
+
+// AtPC returns the candidate starting at pc, or nil.
+func (m *Metadata) AtPC(pc int) *Candidate {
+	return m.byStart[pc]
+}
+
+// Analyze runs offload-candidate selection on k with cost parameters p.
+func Analyze(k *isa.Kernel, p CostParams) (*Metadata, error) {
+	info, err := cfgx.Analyze(k)
+	if err != nil {
+		return nil, err
+	}
+	md := &Metadata{Kernel: k, Info: info, byStart: map[int]*Candidate{}}
+
+	// Pass 1: loop candidates. Outermost-first (larger regions first);
+	// overlapping smaller loops are skipped.
+	loops := info.Graph.Loops()
+	sort.Slice(loops, func(i, j int) bool {
+		return loops[i].EndPC-loops[i].StartPC > loops[j].EndPC-loops[j].StartPC
+	})
+	taken := make([]bool, len(k.Instrs))
+	overlap := func(s, e int) bool {
+		for pc := s; pc < e; pc++ {
+			if taken[pc] {
+				return true
+			}
+		}
+		return false
+	}
+	claim := func(s, e int) {
+		for pc := s; pc < e; pc++ {
+			taken[pc] = true
+		}
+	}
+	for _, l := range loops {
+		if !l.Contiguous || overlap(l.StartPC, l.EndPC) {
+			continue
+		}
+		c, ok := buildCandidate(md, p, l.StartPC, l.EndPC, true, analyzeTrips(info, l))
+		if !ok {
+			continue
+		}
+		claim(c.StartPC, c.EndPC)
+		md.addCandidate(c)
+	}
+
+	// Pass 2: straight-line block candidates outside chosen loops. The
+	// region is the block body up to (not including) a trailing branch /
+	// exit / barrier, so control leaves only by falling into EndPC.
+	for _, b := range info.Graph.Blocks {
+		end := b.End
+		for end > b.Start {
+			op := k.Instrs[end-1].Op
+			if op == isa.OpBra || op == isa.OpExit || op == isa.OpBar {
+				end--
+				continue
+			}
+			break
+		}
+		if end <= b.Start || overlap(b.Start, end) {
+			continue
+		}
+		c, ok := buildCandidate(md, p, b.Start, end, false, TripInfo{})
+		if !ok {
+			continue
+		}
+		claim(c.StartPC, c.EndPC)
+		md.addCandidate(c)
+	}
+
+	sort.Slice(md.Candidates, func(i, j int) bool {
+		return md.Candidates[i].StartPC < md.Candidates[j].StartPC
+	})
+	for i, c := range md.Candidates {
+		c.ID = i
+	}
+	return md, nil
+}
+
+func (m *Metadata) addCandidate(c *Candidate) {
+	m.Candidates = append(m.Candidates, c)
+	m.byStart[c.StartPC] = c
+}
+
+// buildCandidate checks legality (§3.1.4) and applies the cost model; ok is
+// false when the region is illegal or not beneficial.
+func buildCandidate(md *Metadata, p CostParams, start, end int, isLoop bool, trip TripInfo) (*Candidate, bool) {
+	k := md.Kernel
+	nLD, nST := 0, 0
+	for pc := start; pc < end; pc++ {
+		in := k.Instrs[pc]
+		switch {
+		// §3.1.4 limitation 1: no shared-memory accesses.
+		case in.Op.IsShared():
+			return nil, false
+		// §3.1.4 limitation 3: no barriers, synchronization or atomics.
+		case in.Op == isa.OpBar || in.Op == isa.OpAtomAdd:
+			return nil, false
+		// A thread exit inside the region would strand the warp on the
+		// memory-stack SM.
+		case in.Op == isa.OpExit:
+			return nil, false
+		// §3.1.4 limitation 2: control flow must stay confined so the
+		// warp reconverges by EndPC. Targets may be anywhere in
+		// [start, end] — a branch to end exits the region cleanly.
+		case in.Op == isa.OpBra:
+			if in.Target < start || in.Target > end {
+				return nil, false
+			}
+		}
+		if in.Op.IsLoad() {
+			nLD++
+		}
+		if in.Op.IsStore() {
+			nST++
+		}
+	}
+	if nLD+nST == 0 {
+		return nil, false
+	}
+	liveIn, liveOut, err := md.Info.RegionLiveInOut(start, end)
+	if err != nil {
+		return nil, false
+	}
+	alu := 0
+	for pc := start; pc < end; pc++ {
+		op := k.Instrs[pc].Op
+		if !op.IsMemory() && op != isa.OpBra && op != isa.OpNop {
+			alu++
+		}
+	}
+	c := &Candidate{
+		StartPC: start, EndPC: end,
+		LiveIn: liveIn, LiveOut: liveOut,
+		NLD: nLD, NST: nST,
+		IsLoop: isLoop, Trip: trip,
+		ALUFrac: float64(alu) / float64(end-start),
+	}
+	regTX, regRX := c.NumLiveIn(), c.NumLiveOut()
+	decide := func(trips float64) (float64, float64, bool) {
+		tx, rx := p.BWDelta(regTX, regRX, nLD, nST, trips)
+		return tx, rx, tx+rx < 0
+	}
+	switch {
+	case isLoop && trip.Known:
+		tx, rx, ok := decide(float64(trip.Static))
+		if !ok {
+			return nil, false
+		}
+		c.BWTX, c.BWRX = tx, rx
+	case isLoop && trip.Cond != nil:
+		// Conditional candidate: find the break-even trip count; the
+		// hardware offloads only when the runtime count reaches it.
+		minT := p.MinBeneficialTrips(regTX, regRX, nLD, nST)
+		if minT == 0 {
+			return nil, false
+		}
+		trip.Cond.MinTrips = minT
+		c.Trip = trip
+		tx, rx, _ := decide(float64(minT))
+		c.BWTX, c.BWRX = tx, rx
+	default:
+		// Unknown trip count (§3.1.3 case 3) or plain block: assume a
+		// single execution of the body.
+		tx, rx, ok := decide(1)
+		if !ok {
+			return nil, false
+		}
+		c.BWTX, c.BWRX = tx, rx
+	}
+	c.SavesTX = c.BWTX < 0
+	c.SavesRX = c.BWRX < 0
+	return c, true
+}
+
+// String summarizes the candidate.
+func (c *Candidate) String() string {
+	kind := "block"
+	switch {
+	case c.IsLoop && c.Trip.Known:
+		kind = fmt.Sprintf("loop(static %d trips)", c.Trip.Static)
+	case c.Conditional():
+		kind = fmt.Sprintf("loop(conditional, >=%d trips)", c.Trip.Cond.MinTrips)
+	case c.IsLoop:
+		kind = "loop(unconditional)"
+	}
+	return fmt.Sprintf("cand#%d [%d,%d) %s ld=%d st=%d liveIn=%d liveOut=%d bwTX=%.2f bwRX=%.2f",
+		c.ID, c.StartPC, c.EndPC, kind, c.NLD, c.NST, c.NumLiveIn(), c.NumLiveOut(), c.BWTX, c.BWRX)
+}

@@ -1,0 +1,279 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// libLoopKernel reproduces the shape of the paper's Fig. 4 LIBOR loop:
+// a counted loop with 5 live-in registers, one load and one store per trip,
+// and a runtime-known bound (conditional offloading candidate).
+//
+//	for (n = 0; n < N; n++) L_b[n] = vd / (1.0 + 0.25*L[n]);
+func libLoopKernel(t *testing.T) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("lib", 4) // r0=L, r1=L_b, r2=vd, r3=N
+	b.MovI(4, 0)                  // n
+	b.Label("top")
+	b.Shl(5, isa.R(4), isa.Imm(2))
+	b.Add(6, isa.R(0), isa.R(5))
+	b.Ld(7, isa.R(6), 0) // L[n]
+	b.FMA(7, isa.R(7), isa.ImmF(0.25), isa.ImmF(1.0))
+	b.FDiv(7, isa.R(2), isa.R(7))
+	b.Add(8, isa.R(1), isa.R(5))
+	b.St(isa.R(8), 0, isa.R(7)) // L_b[n]
+	b.Add(4, isa.R(4), isa.Imm(1))
+	b.Setp(9, isa.CmpLT, isa.R(4), isa.R(3))
+	b.BraIf(isa.R(9), "top")
+	b.Exit()
+	return b.MustBuild()
+}
+
+func TestLIBCandidateArithmetic(t *testing.T) {
+	k := libLoopKernel(t)
+	md, err := Analyze(k, DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *Candidate
+	for _, c := range md.Candidates {
+		if c.IsLoop {
+			loop = c
+		}
+	}
+	if loop == nil {
+		t.Fatalf("no loop candidate found; candidates: %v", md.Candidates)
+	}
+	if got := loop.NumLiveIn(); got != 5 {
+		t.Errorf("live-in count = %d, want 5 (paper Fig. 4)", got)
+	}
+	if got := loop.NumLiveOut(); got != 0 {
+		t.Errorf("live-out count = %d, want 0", got)
+	}
+	if loop.NLD != 1 || loop.NST != 1 {
+		t.Errorf("NLD/NST = %d/%d, want 1/1", loop.NLD, loop.NST)
+	}
+	// Paper: +110.25 at one trip.
+	p := DefaultCostParams()
+	tx, rx := p.BWDelta(5, 0, 1, 1, 1)
+	if got := tx + rx; math.Abs(got-110.25) > 1e-9 {
+		t.Errorf("1-trip delta = %v, want +110.25", got)
+	}
+	// Paper: -39 at four trips, so the break-even is exactly 4.
+	tx, rx = p.BWDelta(5, 0, 1, 1, 4)
+	if got := tx + rx; math.Abs(got-(-39)) > 1e-9 {
+		t.Errorf("4-trip delta = %v, want -39", got)
+	}
+	if !loop.Conditional() {
+		t.Fatalf("loop should be a conditional candidate: %v", loop)
+	}
+	if got := loop.Trip.Cond.MinTrips; got != 4 {
+		t.Errorf("MinTrips = %d, want 4 (paper: beneficial when it iterates four or more times)", got)
+	}
+	// At the threshold the RX channel saves (loads execute in-stack) but
+	// TX still pays the live-in transfer: the 2-bit tag must say so.
+	if loop.SavesTX {
+		t.Errorf("TX should not save at the threshold: tx=%v", loop.BWTX)
+	}
+	if !loop.SavesRX {
+		t.Errorf("RX should save at the threshold: rx=%v", loop.BWRX)
+	}
+}
+
+func TestConditionTripsEvaluation(t *testing.T) {
+	c := &Condition{IndReg: 4, Step: 1, BoundIsReg: true, BoundReg: 3, Cmp: isa.CmpLT, MinTrips: 4}
+	cases := []struct {
+		ind, bound int64
+		want       int
+	}{
+		{0, 10, 10}, {0, 1, 1}, {5, 10, 5}, {10, 10, 1}, {12, 10, 1}, {0, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := c.Trips(tc.ind, tc.bound); got != tc.want {
+			t.Errorf("Trips(%d,%d) = %d, want %d", tc.ind, tc.bound, got, tc.want)
+		}
+	}
+	le := &Condition{Step: 2, BoundIsReg: false, BoundImm: 10, Cmp: isa.CmpLE}
+	if got := le.Trips(0, 0); got != 6 {
+		t.Errorf("LE Trips = %d, want 6", got)
+	}
+	down := &Condition{Step: -1, BoundIsReg: false, BoundImm: 0, Cmp: isa.CmpGT}
+	if got := down.Trips(5, 0); got != 5 {
+		t.Errorf("countdown Trips = %d, want 5", got)
+	}
+}
+
+func TestStaticTripLoop(t *testing.T) {
+	// for (i = 0; i < 64; i++) sum += a[i]  -- static trip count 64.
+	b := isa.NewBuilder("static", 2) // r0=a, r1=out
+	b.MovI(2, 0)
+	b.MovI(3, 0)
+	b.Label("top")
+	b.Shl(4, isa.R(2), isa.Imm(2))
+	b.Add(4, isa.R(0), isa.R(4))
+	b.Ld(5, isa.R(4), 0)
+	b.Add(3, isa.R(3), isa.R(5))
+	b.Add(2, isa.R(2), isa.Imm(1))
+	b.Setp(6, isa.CmpLT, isa.R(2), isa.Imm(64))
+	b.BraIf(isa.R(6), "top")
+	b.St(isa.R(1), 0, isa.R(3))
+	b.Exit()
+	k := b.MustBuild()
+	md, err := Analyze(k, DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop *Candidate
+	for _, c := range md.Candidates {
+		if c.IsLoop {
+			loop = c
+		}
+	}
+	if loop == nil {
+		t.Fatal("static loop should be a candidate")
+	}
+	if !loop.Trip.Known || loop.Trip.Static != 64 {
+		t.Errorf("trip info = %+v, want static 64", loop.Trip)
+	}
+	if loop.Conditional() {
+		t.Error("static loop must not be conditional")
+	}
+	if loop.BWTX+loop.BWRX >= 0 {
+		t.Errorf("64-trip loop should save bandwidth, delta = %v", loop.BWTX+loop.BWRX)
+	}
+}
+
+func TestLegalityExclusions(t *testing.T) {
+	// Shared memory access disqualifies the loop (§3.1.4 limitation 1).
+	mkLoop := func(mid func(b *isa.Builder)) *isa.Kernel {
+		b := isa.NewBuilder("k", 2)
+		b.SetShared(256)
+		b.MovI(2, 0)
+		b.Label("top")
+		b.Shl(3, isa.R(2), isa.Imm(2))
+		b.Add(3, isa.R(0), isa.R(3))
+		b.Ld(4, isa.R(3), 0)
+		mid(b)
+		b.St(isa.R(3), 0, isa.R(4))
+		b.Add(2, isa.R(2), isa.Imm(1))
+		b.Setp(5, isa.CmpLT, isa.R(2), isa.R(1))
+		b.BraIf(isa.R(5), "top")
+		b.Exit()
+		return b.MustBuild()
+	}
+	hasLoopCand := func(k *isa.Kernel) bool {
+		md, err := Analyze(k, DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range md.Candidates {
+			if c.IsLoop {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasLoopCand(mkLoop(func(b *isa.Builder) {})) {
+		t.Fatal("control loop should be a candidate")
+	}
+	if hasLoopCand(mkLoop(func(b *isa.Builder) { b.StShared(isa.R(3), 0, isa.R(4)) })) {
+		t.Error("shared-memory loop must be excluded")
+	}
+	if hasLoopCand(mkLoop(func(b *isa.Builder) { b.Bar() })) {
+		t.Error("barrier loop must be excluded")
+	}
+	if hasLoopCand(mkLoop(func(b *isa.Builder) { b.AtomAdd(6, isa.R(3), 0, isa.Imm(1)) })) {
+		t.Error("atomic loop must be excluded")
+	}
+}
+
+func TestBlockCandidateStreaming(t *testing.T) {
+	// A streaming block: 1 live-in, 4 loads, no stores. The cost model
+	// says RX saving dominates -> candidate.
+	b := isa.NewBuilder("stream", 1)
+	b.Mov(1, isa.Sp(isa.SpGtid))
+	b.Shl(1, isa.R(1), isa.Imm(4))
+	b.Add(1, isa.R(0), isa.R(1))
+	b.Ld(2, isa.R(1), 0)
+	b.Ld(3, isa.R(1), 4)
+	b.Ld(4, isa.R(1), 8)
+	b.Ld(5, isa.R(1), 12)
+	b.Add(2, isa.R(2), isa.R(3))
+	b.Add(2, isa.R(2), isa.R(4))
+	b.Add(2, isa.R(2), isa.R(5))
+	b.St(isa.R(0), 0, isa.R(2))
+	b.Exit()
+	k := b.MustBuild()
+	md, err := Analyze(k, DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.Candidates) == 0 {
+		t.Fatal("streaming block should yield a candidate")
+	}
+	c := md.Candidates[0]
+	if c.IsLoop {
+		t.Error("expected a block candidate")
+	}
+	if c.NLD != 4 || c.NST != 1 {
+		t.Errorf("NLD/NST = %d/%d, want 4/1", c.NLD, c.NST)
+	}
+	if md.AtPC(c.StartPC) != c {
+		t.Error("AtPC lookup failed")
+	}
+}
+
+func TestComputeOnlyKernelHasNoCandidates(t *testing.T) {
+	b := isa.NewBuilder("compute", 1)
+	b.Mov(1, isa.Sp(isa.SpGtid))
+	for i := 0; i < 20; i++ {
+		b.FMA(2, isa.R(1), isa.ImmF(1.5), isa.R(2))
+	}
+	b.St(isa.R(0), 0, isa.R(2))
+	b.Exit()
+	k := b.MustBuild()
+	md, err := Analyze(k, DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One store with one live-in base: TX = 32 - 33 = -1, RX = 32*? ...
+	// The single store block: REG_TX = {r0, r2 used}, check it is not
+	// profitable overall; and certainly no loop candidates.
+	for _, c := range md.Candidates {
+		if c.IsLoop {
+			t.Errorf("unexpected loop candidate %v", c)
+		}
+		if c.BWTX+c.BWRX >= 0 {
+			t.Errorf("candidate %v does not save bandwidth", c)
+		}
+	}
+}
+
+func TestMinBeneficialTripsProperties(t *testing.T) {
+	p := DefaultCostParams()
+	for regs := 0; regs < 12; regs++ {
+		for nld := 0; nld <= 4; nld++ {
+			for nst := 0; nst <= 4; nst++ {
+				if nld+nst == 0 {
+					continue
+				}
+				min := p.MinBeneficialTrips(regs, 0, nld, nst)
+				if min == 0 {
+					t.Fatalf("regs=%d nld=%d nst=%d: loads/stores always save eventually", regs, nld, nst)
+				}
+				tx, rx := p.BWDelta(regs, 0, nld, nst, float64(min))
+				if tx+rx >= 0 {
+					t.Errorf("regs=%d nld=%d nst=%d: min=%d not beneficial (%v)", regs, nld, nst, min, tx+rx)
+				}
+				if min > 1 {
+					tx, rx = p.BWDelta(regs, 0, nld, nst, float64(min-1))
+					if tx+rx < 0 {
+						t.Errorf("regs=%d nld=%d nst=%d: min=%d not minimal", regs, nld, nst, min)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package compiler implements TOM's offload-candidate selection (§3.1 of
+// the paper): a static analysis over isa kernels that finds instruction
+// regions whose execution on a memory-stack SM is estimated to save
+// off-chip memory bandwidth, using the warp-granularity cost model of
+// equations (3) and (4), the loop-handling rules of §3.1.3, and the
+// legality limits of §3.1.4. The result is the offloading metadata table
+// the hardware consumes (§4.2).
+package compiler
+
+import "math"
+
+// CostParams are the constants of the bandwidth cost model, equations (3)
+// and (4). All traffic quantities are expressed in 4-byte "register units"
+// (the paper normalizes address, data and register words to the same size,
+// with acknowledgment packets a quarter of it).
+type CostParams struct {
+	// WarpSize is SW.
+	WarpSize int
+	// CacheLineRatio is SC: cache line size / address size (128B / 4B).
+	CacheLineRatio int
+	// CoalLD and CoalST are the assumed average coalescing ratios
+	// (cache-line transactions per warp memory instruction).
+	CoalLD, CoalST float64
+	// MissLD is the assumed load miss rate.
+	MissLD float64
+}
+
+// DefaultCostParams returns the paper's conservative compile-time
+// estimates: perfect coalescing (ratio 1) and a 50% load miss rate.
+func DefaultCostParams() CostParams {
+	return CostParams{WarpSize: 32, CacheLineRatio: 32, CoalLD: 1, CoalST: 1, MissLD: 0.5}
+}
+
+// BWDelta evaluates equations (3) and (4) for a region with the given
+// live-in/live-out register counts and per-trip load/store counts, executed
+// for trips iterations. Negative values are bandwidth savings.
+//
+//	BW_TX = REG_TX*SW - trips*(NLD*CoalLD*MissLD + NST*(SW + CoalST))
+//	BW_RX = REG_RX*SW - trips*(NLD*CoalLD*SC*MissLD + NST*CoalST/4)
+func (p CostParams) BWDelta(regTX, regRX, nLD, nST int, trips float64) (bwTX, bwRX float64) {
+	sw := float64(p.WarpSize)
+	sc := float64(p.CacheLineRatio)
+	bwTX = float64(regTX)*sw - trips*(float64(nLD)*p.CoalLD*p.MissLD+float64(nST)*(sw+p.CoalST))
+	bwRX = float64(regRX)*sw - trips*(float64(nLD)*p.CoalLD*sc*p.MissLD+0.25*float64(nST)*p.CoalST)
+	return bwTX, bwRX
+}
+
+// perTripSaving returns the combined TX+RX traffic saved per loop trip.
+func (p CostParams) perTripSaving(nLD, nST int) float64 {
+	sw := float64(p.WarpSize)
+	sc := float64(p.CacheLineRatio)
+	return float64(nLD)*p.CoalLD*p.MissLD + float64(nST)*(sw+p.CoalST) +
+		float64(nLD)*p.CoalLD*sc*p.MissLD + 0.25*float64(nST)*p.CoalST
+}
+
+// MinBeneficialTrips returns the smallest trip count at which offloading
+// the loop saves bandwidth overall (BW_TX + BW_RX < 0), or 0 if no trip
+// count is ever beneficial.
+func (p CostParams) MinBeneficialTrips(regTX, regRX, nLD, nST int) int {
+	per := p.perTripSaving(nLD, nST)
+	if per <= 0 {
+		return 0
+	}
+	overhead := float64(regTX+regRX) * float64(p.WarpSize)
+	t := int(math.Floor(overhead/per)) + 1
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

@@ -1,0 +1,164 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// assembled corpus exercising the compiler through the textual ISA.
+const corpus = `
+.kernel streaming
+.params 3
+  mov r3, %gtid
+  mov r4, r3
+  mov r5, 0
+top:
+  shl r6, r4, 2
+  add r7, r0, r6
+  ld.global r8, [r7+0]
+  add r9, r1, r6
+  st.global [r9+0], r8
+  add r4, r4, r2
+  add r5, r5, 1
+  setp.lt r10, r5, 128
+  bra r10, top
+  exit
+
+.kernel gather
+.params 3
+  mov r3, %gtid
+  shl r4, r3, 2
+  add r4, r0, r4
+  ld.global r5, [r4+0]
+  shl r5, r5, 2
+  add r5, r1, r5
+  ld.global r6, [r5+0]
+  ld.global r7, [r5+4]
+  ld.global r8, [r5+8]
+  add r6, r6, r7
+  add r6, r6, r8
+  add r9, r2, r4
+  st.global [r9+0], r6
+  exit
+
+.kernel sharedheavy
+.params 2
+.shared 512
+  mov r2, %tid
+  shl r3, r2, 2
+  mov r4, 0
+top:
+  ld.global r5, [r0+0]
+  st.shared [r3+0], r5
+  ld.shared r6, [r3+0]
+  add r4, r4, 1
+  setp.lt r7, r4, 64
+  bra r7, top
+  st.global [r1+0], r6
+  exit
+`
+
+func corpusKernels(t *testing.T) []*isa.Kernel {
+	t.Helper()
+	ks, err := isa.Assemble(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ks
+}
+
+// TestCandidateLegalityInvariants re-verifies, from first principles, every
+// §3.1.4 legality rule on every candidate the compiler emits.
+func TestCandidateLegalityInvariants(t *testing.T) {
+	for _, k := range corpusKernels(t) {
+		md, err := Analyze(k, DefaultCostParams())
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for _, c := range md.Candidates {
+			for pc := c.StartPC; pc < c.EndPC; pc++ {
+				in := k.Instrs[pc]
+				if in.Op.IsShared() {
+					t.Errorf("%s %v: contains shared-memory access at %d", k.Name, c, pc)
+				}
+				if in.Op == isa.OpBar || in.Op == isa.OpAtomAdd || in.Op == isa.OpExit {
+					t.Errorf("%s %v: contains %v at %d", k.Name, c, in.Op, pc)
+				}
+				if in.Op == isa.OpBra && (in.Target < c.StartPC || in.Target > c.EndPC) {
+					t.Errorf("%s %v: branch at %d escapes to %d", k.Name, c, pc, in.Target)
+				}
+			}
+			if c.NLD+c.NST == 0 {
+				t.Errorf("%s %v: no memory instructions", k.Name, c)
+			}
+			if c.BWTX+c.BWRX >= 0 && !c.Conditional() {
+				t.Errorf("%s %v: not bandwidth-beneficial", k.Name, c)
+			}
+			if c.ALUFrac < 0 || c.ALUFrac > 1 {
+				t.Errorf("%s %v: ALU fraction %v out of range", k.Name, c, c.ALUFrac)
+			}
+		}
+	}
+}
+
+// TestSharedLoopExcludedButBlocksRemain: the shared-memory loop cannot be a
+// candidate, while its surrounding global accesses may still form blocks.
+func TestSharedLoopExcludedButBlocksRemain(t *testing.T) {
+	for _, k := range corpusKernels(t) {
+		if k.Name != "sharedheavy" {
+			continue
+		}
+		md, err := Analyze(k, DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range md.Candidates {
+			if c.IsLoop {
+				t.Errorf("shared-memory loop selected: %v", c)
+			}
+		}
+		return
+	}
+	t.Fatal("corpus kernel missing")
+}
+
+// TestGatherBlockSelected: the dependent-gather kernel's straight-line body
+// (4 loads, 1 store) must be a block candidate.
+func TestGatherBlockSelected(t *testing.T) {
+	for _, k := range corpusKernels(t) {
+		if k.Name != "gather" {
+			continue
+		}
+		md, err := Analyze(k, DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(md.Candidates) == 0 {
+			t.Fatal("gather kernel yields no candidates")
+		}
+		c := md.Candidates[0]
+		if c.NLD != 4 || c.NST != 1 {
+			t.Errorf("gather NLD/NST = %d/%d, want 4/1", c.NLD, c.NST)
+		}
+		if !c.SavesRX {
+			t.Error("a 4-load block must save RX bandwidth")
+		}
+		return
+	}
+	t.Fatal("corpus kernel missing")
+}
+
+// TestMetadataTableSizeBound: the paper provisions 40 metadata entries per
+// kernel (2x the observed max); our kernels must fit comfortably.
+func TestMetadataTableSizeBound(t *testing.T) {
+	for _, k := range corpusKernels(t) {
+		md, err := Analyze(k, DefaultCostParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(md.Candidates) > 20 {
+			t.Errorf("%s: %d candidates exceeds half the provisioned table", k.Name, len(md.Candidates))
+		}
+	}
+}

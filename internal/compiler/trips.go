@@ -1,0 +1,202 @@
+package compiler
+
+import (
+	"repro/internal/cfgx"
+	"repro/internal/isa"
+)
+
+// TripInfo classifies a loop's trip count per §3.1.3 of the paper.
+type TripInfo struct {
+	// Static is a compile-time-known trip count (Known == true).
+	Known  bool
+	Static int
+	// Cond describes a trip count computable at region entry from
+	// register values ("conditional offloading candidate"); nil when the
+	// count only materializes during execution.
+	Cond *Condition
+}
+
+// Condition is the compiler-provided hint for a conditional offloading
+// candidate: how the hardware computes the loop trip count at the offload
+// decision point, and the minimum count at which offloading pays off.
+type Condition struct {
+	// IndReg is the induction register; its value at region entry is the
+	// initial counter value.
+	IndReg isa.Reg
+	// Step is the per-trip increment (positive for CmpLT/CmpLE loops,
+	// negative for CmpGT/CmpGE).
+	Step int64
+	// Bound: either a register (BoundIsReg) read at region entry, or an
+	// immediate.
+	BoundIsReg bool
+	BoundReg   isa.Reg
+	BoundImm   int64
+	// Cmp is the latch comparison (counter Cmp bound continues the loop).
+	Cmp isa.Cmp
+	// MinTrips is the threshold: offload only if trips >= MinTrips.
+	MinTrips int
+}
+
+// Trips evaluates the runtime trip count given the induction register's and
+// bound's values at region entry. This mirrors the Offload Controller's
+// hardware comparison (§4.2, dynamic offloading decision step 1).
+func (c *Condition) Trips(ind, bound int64) int {
+	if !c.BoundIsReg {
+		bound = c.BoundImm
+	}
+	var span int64
+	switch c.Cmp {
+	case isa.CmpLT:
+		span = bound - ind
+	case isa.CmpLE:
+		span = bound - ind + 1
+	case isa.CmpGT:
+		span = ind - bound
+	case isa.CmpGE:
+		span = ind - bound + 1
+	default:
+		return 1
+	}
+	step := c.Step
+	if step < 0 {
+		step = -step
+	}
+	if step == 0 {
+		return 1
+	}
+	if span <= 0 {
+		// The loop body still executes once before the latch test in
+		// this do-while-shaped region.
+		return 1
+	}
+	t := (span + step - 1) / step
+	if t < 1 {
+		t = 1
+	}
+	return int(t)
+}
+
+// analyzeTrips pattern-matches the canonical counted loop:
+//
+//	<init: ind = imm>          (optionally, before the loop)
+//	top:  ...
+//	      ind = ind + step     (single in-loop update, add/sub immediate)
+//	      p = setp.cmp ind, bound
+//	      bra p, top
+//
+// Returns the classification per §3.1.3: statically known, known at region
+// entry (conditional candidate), or unknown.
+func analyzeTrips(info *cfgx.Info, l cfgx.Loop) TripInfo {
+	k := info.Graph.Kernel
+	latch := l.EndPC - 1
+	br := k.Instrs[latch]
+	if br.Op != isa.OpBra || br.A.Kind != isa.OpdReg || br.PredNeg {
+		return TripInfo{}
+	}
+	// Find the setp defining the predicate, scanning backward in the loop.
+	var setp isa.Instr
+	setpPC := -1
+	for pc := latch - 1; pc >= l.StartPC; pc-- {
+		in := k.Instrs[pc]
+		if in.HasDst && in.Dst == br.A.Reg {
+			if in.Op == isa.OpSetp {
+				setp, setpPC = in, pc
+			}
+			break
+		}
+	}
+	if setpPC < 0 || setp.A.Kind != isa.OpdReg {
+		return TripInfo{}
+	}
+	ind := setp.A.Reg
+	// Find the single induction update ind = ind ± imm inside the loop.
+	var step int64
+	updates := 0
+	for pc := l.StartPC; pc < l.EndPC; pc++ {
+		in := k.Instrs[pc]
+		if !in.HasDst || in.Dst != ind {
+			continue
+		}
+		updates++
+		if (in.Op == isa.OpAdd || in.Op == isa.OpSub) &&
+			in.A.Kind == isa.OpdReg && in.A.Reg == ind && in.B.Kind == isa.OpdImm {
+			step = in.B.Imm
+			if in.Op == isa.OpSub {
+				step = -step
+			}
+		} else {
+			return TripInfo{} // non-canonical update
+		}
+	}
+	if updates != 1 || step == 0 {
+		return TripInfo{}
+	}
+	// Direction must match the latch comparison.
+	switch setp.Cmp {
+	case isa.CmpLT, isa.CmpLE:
+		if step <= 0 {
+			return TripInfo{}
+		}
+	case isa.CmpGT, isa.CmpGE:
+		if step >= 0 {
+			return TripInfo{}
+		}
+	default:
+		return TripInfo{}
+	}
+	// Bound must be loop-invariant: an immediate, or a register not
+	// written inside the loop.
+	boundIsReg := false
+	var boundReg isa.Reg
+	var boundImm int64
+	switch setp.B.Kind {
+	case isa.OpdImm:
+		boundImm = setp.B.Imm
+	case isa.OpdReg:
+		boundIsReg = true
+		boundReg = setp.B.Reg
+		for pc := l.StartPC; pc < l.EndPC; pc++ {
+			in := k.Instrs[pc]
+			if in.HasDst && in.Dst == boundReg {
+				return TripInfo{} // bound mutated in loop
+			}
+		}
+	default:
+		return TripInfo{}
+	}
+	cond := &Condition{
+		IndReg: ind, Step: step,
+		BoundIsReg: boundIsReg, BoundReg: boundReg, BoundImm: boundImm,
+		Cmp: setp.Cmp,
+	}
+	// Statically known? Initial value must be an immediate mov that
+	// reaches the loop entry: the last write to ind before StartPC, with
+	// no intervening branches into the gap (we only accept the simple
+	// straight-line preheader case).
+	if !boundIsReg {
+		if init, ok := staticInit(info, l.StartPC, ind); ok {
+			return TripInfo{Known: true, Static: cond.Trips(init, 0), Cond: cond}
+		}
+	}
+	return TripInfo{Cond: cond}
+}
+
+// staticInit looks for "mov ind, imm" as the last definition of ind before
+// the loop, within the immediately preceding basic block.
+func staticInit(info *cfgx.Info, startPC int, ind isa.Reg) (int64, bool) {
+	k := info.Graph.Kernel
+	if startPC == 0 {
+		return 0, false
+	}
+	pre := info.Graph.Blocks[info.Graph.BlockOf[startPC-1]]
+	for pc := pre.End - 1; pc >= pre.Start; pc-- {
+		in := k.Instrs[pc]
+		if in.HasDst && in.Dst == ind {
+			if in.Op == isa.OpMov && in.A.Kind == isa.OpdImm {
+				return in.A.Imm, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}

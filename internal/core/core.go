@@ -1,0 +1,335 @@
+// Package core orchestrates the paper's evaluation: it runs each Table 2
+// workload under every system configuration the figures compare, verifies
+// each timing run against the functional reference (final memory image
+// equality plus the workload's own self-check), and aggregates the results
+// into the tables that cmd/tomx, the benchmarks, and EXPERIMENTS.md report.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/energy"
+	"repro/internal/exec"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// ConfigName identifies one system configuration under evaluation.
+type ConfigName string
+
+// The evaluated configurations.
+const (
+	CfgBaseline    ConfigName = "baseline"      // 68 SMs, no NDP (the normalization base)
+	CfgIdeal       ConfigName = "ideal"         // Fig. 2: free offload + perfect co-location
+	CfgNoCtrlBmap  ConfigName = "noctrl-bmap"   // offload everything, baseline mapping
+	CfgNoCtrlTmap  ConfigName = "noctrl-tmap"   // offload everything, transparent mapping
+	CfgCtrlBmap    ConfigName = "ctrl-bmap"     // dynamic control, baseline mapping
+	CfgCtrlTmap    ConfigName = "ctrl-tmap"     // TOM: dynamic control + transparent mapping
+	CfgCtrlOracle  ConfigName = "ctrl-oracle"   // Fig. 3: oracle best-bit mapping
+	CfgWarp2x      ConfigName = "ctrl-tmap-w2"  // §6.4: 2x stack-SM warp capacity
+	CfgWarp4x      ConfigName = "ctrl-tmap-w4"  // §6.4: 4x stack-SM warp capacity
+	CfgInternal1x  ConfigName = "ctrl-tmap-i1"  // §6.5: internal BW = external BW
+	CfgCross0125   ConfigName = "ctrl-tmap-x18" // §6.5: cross-stack BW 0.125x
+	CfgCross025    ConfigName = "ctrl-tmap-x14" // §6.5: cross-stack BW 0.25x
+	CfgCross100    ConfigName = "ctrl-tmap-x1"  // §6.5: cross-stack BW 1x
+	CfgNoCoherence ConfigName = "ctrl-tmap-nc"  // §4.4.2: coherence protocol off
+	// Extension ablation (§6.4 future work): ALU-ratio-aware control at
+	// 4x stack warp capacity, versus plain 4x (CfgWarp4x).
+	CfgWarp4xALU ConfigName = "ctrl-tmap-w4-alu"
+)
+
+// buildConfig materializes a named configuration.
+func buildConfig(name ConfigName) (sim.Config, error) {
+	c := sim.DefaultConfig()
+	switch name {
+	case CfgBaseline:
+		return sim.BaselineConfig(), nil
+	case CfgIdeal:
+		c.Offload = sim.OffloadIdeal
+		c.Mapping = sim.MapBaseline
+	case CfgNoCtrlBmap:
+		c.Offload = sim.OffloadUncontrolled
+		c.Mapping = sim.MapBaseline
+	case CfgNoCtrlTmap:
+		c.Offload = sim.OffloadUncontrolled
+	case CfgCtrlBmap:
+		c.Mapping = sim.MapBaseline
+	case CfgCtrlTmap:
+		// TOM default.
+	case CfgCtrlOracle:
+		c.Mapping = sim.MapOracle
+	case CfgWarp2x:
+		c.StackWarpMult = 2
+	case CfgWarp4x:
+		c.StackWarpMult = 4
+	case CfgInternal1x:
+		c.InternalBWRatio = 0.5
+	case CfgCross0125:
+		c.CrossStackBW = c.GPUStackBW * 0.125
+	case CfgCross025:
+		c.CrossStackBW = c.GPUStackBW * 0.25
+	case CfgCross100:
+		c.CrossStackBW = c.GPUStackBW
+	case CfgNoCoherence:
+		c.Coherence = false
+	case CfgWarp4xALU:
+		c.StackWarpMult = 4
+		c.ALUGate = 0.75
+	default:
+		return c, fmt.Errorf("core: unknown configuration %q", name)
+	}
+	return c, nil
+}
+
+// RunResult is one (workload, configuration) measurement.
+type RunResult struct {
+	Abbr   string
+	Config ConfigName
+	Stats  sim.Stats
+	Energy energy.Breakdown
+}
+
+// Runner builds workload instances, memoizes runs and profiles, and
+// verifies every timing run against the functional reference. It is safe
+// for concurrent use: simultaneous requests for the same run are
+// deduplicated, distinct runs proceed in parallel (see Warm).
+type Runner struct {
+	Scale float64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(format string, args ...any)
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	insts    map[string]*workloads.Instance // pristine instances
+	refs     map[string]*mem.Flat           // functional-reference memories
+	profiles map[string]*sim.Profile
+	runs     map[string]*RunResult
+}
+
+// NewRunner creates a runner at the given problem scale (1.0 = default).
+func NewRunner(scale float64) *Runner {
+	return &Runner{
+		Scale:    scale,
+		inflight: map[string]*flight{},
+		insts:    map[string]*workloads.Instance{},
+		refs:     map[string]*mem.Flat{},
+		profiles: map[string]*sim.Profile{},
+		runs:     map[string]*RunResult{},
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Progress != nil {
+		r.Progress(format, args...)
+	}
+}
+
+// instance returns the pristine instance for a workload.
+func (r *Runner) instance(abbr string) (*workloads.Instance, error) {
+	err := r.once("inst/"+abbr, func() error {
+		r.mu.Lock()
+		_, ok := r.insts[abbr]
+		r.mu.Unlock()
+		if ok {
+			return nil
+		}
+		w, err := workloads.ByAbbr(abbr)
+		if err != nil {
+			return err
+		}
+		in, err := w.Build(r.Scale)
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.insts[abbr] = in
+		r.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.insts[abbr], nil
+}
+
+// reference returns (building once) the functional-reference final memory.
+func (r *Runner) reference(abbr string) (*mem.Flat, error) {
+	err := r.once("ref/"+abbr, func() error {
+		r.mu.Lock()
+		_, ok := r.refs[abbr]
+		r.mu.Unlock()
+		if ok {
+			return nil
+		}
+		in, err := r.instance(abbr)
+		if err != nil {
+			return err
+		}
+		c := in.Clone()
+		if err := exec.RunFunctionalAll(c.Mem, c.Launches); err != nil {
+			return fmt.Errorf("%s: functional reference: %w", abbr, err)
+		}
+		if in.Check != nil {
+			if err := in.Check(c.Mem); err != nil {
+				return fmt.Errorf("%s: reference self-check: %w", abbr, err)
+			}
+		}
+		r.mu.Lock()
+		r.refs[abbr] = c.Mem
+		r.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.refs[abbr], nil
+}
+
+// Profile returns (running once) the instrumented functional profile.
+func (r *Runner) Profile(abbr string) (*sim.Profile, error) {
+	err := r.once("prof/"+abbr, func() error {
+		r.mu.Lock()
+		_, ok := r.profiles[abbr]
+		r.mu.Unlock()
+		if ok {
+			return nil
+		}
+		in, err := r.instance(abbr)
+		if err != nil {
+			return err
+		}
+		c := in.Clone()
+		p, err := sim.RunProfile(c.Mem, c.Alloc, c.Launches)
+		if err != nil {
+			return fmt.Errorf("%s: profile: %w", abbr, err)
+		}
+		// Remember which ranges candidates touch for oracle runs.
+		r.mu.Lock()
+		for i, rg := range c.Alloc.Ranges {
+			if rg.CandidateTouched {
+				in.Alloc.Ranges[i].CandidateTouched = true
+			}
+		}
+		r.profiles[abbr] = p
+		r.mu.Unlock()
+		r.logf("profile %-4s instances=%d", abbr, p.Instances)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.profiles[abbr], nil
+}
+
+// Run executes (or returns the memoized) workload × configuration.
+func (r *Runner) Run(abbr string, name ConfigName) (*RunResult, error) {
+	key := abbr + "/" + string(name)
+	err := r.once("run/"+key, func() error {
+		r.mu.Lock()
+		_, ok := r.runs[key]
+		r.mu.Unlock()
+		if ok {
+			return nil
+		}
+		res, err := r.runUncached(abbr, name)
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.runs[key] = res
+		r.mu.Unlock()
+		r.logf("run %-4s %-14s cycles=%-9d IPC=%6.1f offloads=%-7d traffic=%dMB",
+			abbr, name, res.Stats.Cycles, res.Stats.IPC(), res.Stats.OffloadsSent,
+			res.Stats.OffChipBytes()>>20)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.runs[key], nil
+}
+
+func (r *Runner) runUncached(abbr string, name ConfigName) (*RunResult, error) {
+	in, err := r.instance(abbr)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := buildConfig(name)
+	if err != nil {
+		return nil, err
+	}
+	var prof *sim.Profile
+	if cfg.Mapping == sim.MapOracle {
+		// Run the profile first: it flags candidate-touched ranges on
+		// the pristine instance (under the runner lock).
+		prof, err = r.Profile(abbr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.mu.Lock()
+	c := in.Clone()
+	if prof != nil {
+		for i, rg := range in.Alloc.Ranges {
+			c.Alloc.Ranges[i].CandidateTouched = rg.CandidateTouched
+		}
+	}
+	r.mu.Unlock()
+	sys := sim.New(cfg, c.Mem, c.Alloc)
+	if prof != nil {
+		bit, _ := prof.OracleBit()
+		sys.ApplyMappingBit(bit)
+	}
+	if err := sys.Run(c.Launches); err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", abbr, name, err)
+	}
+	// Verification: the timing run must reproduce the functional memory
+	// image exactly, and pass the workload's self-check.
+	ref, err := r.reference(abbr)
+	if err != nil {
+		return nil, err
+	}
+	if ok, addr := mem.Equal(ref, c.Mem); !ok {
+		return nil, fmt.Errorf("%s/%s: timing run diverged from functional reference at %#x", abbr, name, addr)
+	}
+	if in.Check != nil {
+		if err := in.Check(c.Mem); err != nil {
+			return nil, fmt.Errorf("%s/%s: self-check: %w", abbr, name, err)
+		}
+	}
+	res := &RunResult{Abbr: abbr, Config: name, Stats: *sys.Stats()}
+	res.Energy = energy.Compute(&res.Stats, cfg, energy.DefaultParams())
+	return res, nil
+}
+
+// Abbrs returns the workload abbreviations in paper order.
+func Abbrs() []string {
+	var out []string
+	for _, w := range workloads.All() {
+		out = append(out, w.Abbr)
+	}
+	return out
+}
+
+// CachedRuns lists memoized run keys (diagnostics).
+func (r *Runner) CachedRuns() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var keys []string
+	for k := range r.runs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestConfigRegistry(t *testing.T) {
+	names := []ConfigName{
+		CfgBaseline, CfgIdeal, CfgNoCtrlBmap, CfgNoCtrlTmap, CfgCtrlBmap,
+		CfgCtrlTmap, CfgCtrlOracle, CfgWarp2x, CfgWarp4x, CfgInternal1x,
+		CfgCross0125, CfgCross025, CfgCross100, CfgNoCoherence,
+	}
+	for _, n := range names {
+		if _, err := buildConfig(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := buildConfig("bogus"); err == nil {
+		t.Error("unknown config should fail")
+	}
+}
+
+func TestRunnerVerifiesAndCaches(t *testing.T) {
+	r := NewRunner(0.3)
+	a, err := r.Run("SP", CfgBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run("SP", CfgBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second run should come from the cache")
+	}
+	if len(r.CachedRuns()) != 1 {
+		t.Errorf("cached runs = %v", r.CachedRuns())
+	}
+	ndp, err := r.Run("SP", CfgCtrlTmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndp.Stats.OffloadsSent == 0 {
+		t.Error("ctrl-tmap run never offloaded")
+	}
+	if ndp.Energy.Total() <= 0 {
+		t.Error("energy not computed")
+	}
+}
+
+func TestSpeedupShapeOnStreamingWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config simulation")
+	}
+	r := NewRunner(0.3)
+	base, err := r.Run("SP", CfgBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := r.Run("SP", CfgIdeal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tom, err := r.Run("SP", CfgCtrlTmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sIdeal := ideal.Stats.IPC() / base.Stats.IPC()
+	sTom := tom.Stats.IPC() / base.Stats.IPC()
+	t.Logf("SP: ideal=%.2fx tom=%.2fx", sIdeal, sTom)
+	if sIdeal <= 1.0 {
+		t.Errorf("ideal NDP should speed up SP, got %.2fx", sIdeal)
+	}
+	if sTom <= 0.9 {
+		t.Errorf("TOM should not cripple SP, got %.2fx", sTom)
+	}
+}
+
+func TestAreaTableMatchesPaper(t *testing.T) {
+	tab := AreaTable()
+	get := func(label string) float64 {
+		for _, r := range tab.Rows {
+			if r.Label == label {
+				return r.Values[0]
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return 0
+	}
+	if v := get("analyzer bits/SM"); v != 1920 {
+		t.Errorf("analyzer bits = %v, want 1920", v)
+	}
+	if v := get("alloc table bits"); v != 9700 {
+		t.Errorf("alloc table bits = %v, want 9700", v)
+	}
+	if v := get("metadata bits/SM"); v != 10320 {
+		t.Errorf("metadata bits = %v, want 10320", v)
+	}
+	if v := get("area mm^2"); v < 0.10 || v > 0.12 {
+		t.Errorf("area = %v mm^2, want ~0.11", v)
+	}
+	if v := get("GPU fraction %"); v < 0.015 || v > 0.021 {
+		t.Errorf("GPU fraction = %v%%, want ~0.018%%", v)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "t", Columns: []string{"A", "AVG"},
+		Rows:  []Row{{Label: "r", Values: []float64{1, 1}}},
+		Notes: []string{"n"},
+	}
+	if s := tab.String(); s == "" {
+		t.Error("empty text rendering")
+	}
+	if s := tab.Markdown(); s == "" {
+		t.Error("empty markdown rendering")
+	}
+	if GeoMean([]float64{2, 8}) != 4 {
+		t.Error("geomean wrong")
+	}
+	if Mean([]float64{2, 8}) != 5 {
+		t.Error("mean wrong")
+	}
+	if GeoMean(nil) != 0 || Mean(nil) != 0 {
+		t.Error("empty reducers should return 0")
+	}
+}
+
+func TestExperimentIDsResolve(t *testing.T) {
+	r := NewRunner(0.03)
+	for _, id := range ExperimentIDs() {
+		if id == "area" {
+			if _, err := r.Experiment(id); err != nil {
+				t.Errorf("%s: %v", id, err)
+			}
+		}
+	}
+	if _, err := r.Experiment("nope"); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

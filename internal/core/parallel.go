@@ -1,0 +1,93 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// flight deduplicates concurrent computations of the same key: the first
+// caller computes, later callers wait. Protected by Runner.mu.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// once runs fn for key exactly once across goroutines; concurrent callers
+// block until the first finishes. Results are communicated through the
+// Runner's memo maps (fn must store its own result under r.mu).
+func (r *Runner) once(key string, fn func() error) error {
+	r.mu.Lock()
+	if f, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		return f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	r.inflight[key] = f
+	r.mu.Unlock()
+
+	f.err = fn()
+	close(f.done)
+	return f.err
+}
+
+// Pair names one (workload, configuration) run.
+type Pair struct {
+	Abbr   string
+	Config ConfigName
+}
+
+// Warm executes the given runs in parallel (bounded by GOMAXPROCS),
+// populating the memo cache so subsequent Run calls return instantly.
+// The first error (if any) is returned after all workers stop.
+func (r *Runner) Warm(pairs []Pair) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan Pair)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range ch {
+				if _, err := r.Run(p.Abbr, p.Config); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, p := range pairs {
+		ch <- p
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+// FullMatrix lists every (workload, configuration) pair the complete
+// experiment suite needs.
+func FullMatrix() []Pair {
+	configs := []ConfigName{
+		CfgBaseline, CfgIdeal, CfgNoCtrlBmap, CfgNoCtrlTmap, CfgCtrlBmap,
+		CfgCtrlTmap, CfgCtrlOracle, CfgWarp2x, CfgWarp4x, CfgInternal1x,
+		CfgCross0125, CfgCross025, CfgCross100, CfgNoCoherence,
+	}
+	var pairs []Pair
+	for _, c := range configs {
+		for _, a := range Abbrs() {
+			pairs = append(pairs, Pair{Abbr: a, Config: c})
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is one reproduced figure/table: a labeled grid with one column per
+// workload plus an AVG column.
+type Table struct {
+	ID      string // e.g. "fig8"
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one series of the figure.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// GeoMean returns the geometric mean (for speedup series).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean (for fractions and normalized traffic).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// withAvg appends an average to a series using the given reducer.
+func withAvg(xs []float64, avg func([]float64) float64) []float64 {
+	return append(append([]float64{}, xs...), avg(xs))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	labelW := 10
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", labelW+2, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, "%8s", c)
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", labelW+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&sb, "%8.3f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "   note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s: %s\n\n", t.ID, t.Title)
+	sb.WriteString("| |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&sb, " %s |", c)
+	}
+	sb.WriteString("\n|---|")
+	for range t.Columns {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "| %s |", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&sb, " %.3f |", v)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "\n*%s*\n", n)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// workloadColumns returns the standard column header set.
+func workloadColumns() []string {
+	return append(Abbrs(), "AVG")
+}

@@ -1,0 +1,170 @@
+// Package dram models the 3D-stacked DRAM of one memory stack: per-vault
+// FR-FCFS scheduling over banks with open-row tracking, DDR3-like timing,
+// and a TSV data-bus bandwidth budget per vault (Table 1: 16 vaults/stack,
+// 16 banks/vault, 64 TSVs/vault at 1.25 Gb/s ≈ 10 GB/s per vault).
+package dram
+
+// Timing collects the vault timing/geometry parameters, in core cycles.
+type Timing struct {
+	Banks         int
+	RowBytes      int     // row-buffer size (4 KB, matching the energy model)
+	TCL           int64   // column access (row hit) latency
+	TRCD          int64   // activate-to-read
+	TRP           int64   // precharge
+	BytesPerCycle float64 // TSV data-bus bandwidth per vault
+	QueueDepth    int
+}
+
+// DefaultTiming mirrors Table 1 / DDR3-1600 in 1.4 GHz core cycles.
+func DefaultTiming() Timing {
+	return Timing{
+		Banks:         16,
+		RowBytes:      4096,
+		TCL:           20, // ~13.75 ns
+		TRCD:          20,
+		TRP:           19,
+		BytesPerCycle: 7.14, // 10 GB/s at 1.4 GHz
+		QueueDepth:    32,
+	}
+}
+
+// Request is one line-granularity DRAM access.
+type Request struct {
+	Addr  uint64
+	Bytes int
+	Write bool
+	// Done runs when the data burst completes.
+	Done func(now int64)
+}
+
+type bank struct {
+	openRow   uint64
+	hasRow    bool
+	busyUntil int64
+}
+
+type completion struct {
+	at   int64
+	done func(now int64)
+}
+
+// Vault is one vault: a request queue, banks, and a TSV data bus.
+type Vault struct {
+	t         Timing
+	banks     []bank
+	queue     []*Request
+	busFreeAt int64
+	compl     []completion
+
+	// Stats.
+	Activations uint64
+	RowHits     uint64
+	Reads       uint64
+	Writes      uint64
+	BytesMoved  uint64
+}
+
+// NewVault creates a vault with the given timing.
+func NewVault(t Timing) *Vault {
+	return &Vault{t: t, banks: make([]bank, t.Banks)}
+}
+
+// Full reports whether the request queue is at capacity.
+func (v *Vault) Full() bool { return len(v.queue) >= v.t.QueueDepth }
+
+// QueueLen returns the number of waiting requests.
+func (v *Vault) QueueLen() int { return len(v.queue) }
+
+// Enqueue adds a request; returns false if the queue is full.
+func (v *Vault) Enqueue(r *Request) bool {
+	if v.Full() {
+		return false
+	}
+	v.queue = append(v.queue, r)
+	return true
+}
+
+// Active reports whether the vault has pending work.
+func (v *Vault) Active() bool { return len(v.queue) > 0 || len(v.compl) > 0 }
+
+// BankOf maps an address to its bank: an XOR fold of row-and-above address
+// bits. Using only bits at/above the row keeps every column of a row in one
+// bank (so row hits work), while the fold prevents any single external bit
+// choice — in particular the consecutive-bit stack mappings, which pin some
+// low line bits per stack — from collapsing bank-level parallelism.
+func (v *Vault) BankOf(addr uint64) int {
+	row := addr / uint64(v.t.RowBytes)
+	return int((row ^ (row >> 4) ^ (row >> 8)) % uint64(len(v.banks)))
+}
+
+func (v *Vault) bankOf(addr uint64) int { return v.BankOf(addr) }
+
+func (v *Vault) rowOf(addr uint64) uint64 { return addr / uint64(v.t.RowBytes) }
+
+// Tick issues at most one request per cycle (FR-FCFS: oldest row-hit to a
+// free bank first, else oldest to a free bank) and fires completions.
+func (v *Vault) Tick(now int64) {
+	for len(v.compl) > 0 && v.compl[0].at <= now {
+		c := v.compl[0]
+		v.compl = v.compl[1:]
+		if c.done != nil {
+			c.done(now)
+		}
+	}
+	if len(v.queue) == 0 || v.busFreeAt > now+int64(4*float64(v.t.TCL)) {
+		// Data bus hopelessly backed up: let it drain.
+		return
+	}
+	pick := -1
+	for i, r := range v.queue { // first-ready row hit
+		b := &v.banks[v.bankOf(r.Addr)]
+		if b.busyUntil <= now && b.hasRow && b.openRow == v.rowOf(r.Addr) {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		for i, r := range v.queue { // oldest to a free bank
+			if v.banks[v.bankOf(r.Addr)].busyUntil <= now {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	r := v.queue[pick]
+	v.queue = append(v.queue[:pick], v.queue[pick+1:]...)
+	b := &v.banks[v.bankOf(r.Addr)]
+	row := v.rowOf(r.Addr)
+	var lat int64
+	if b.hasRow && b.openRow == row {
+		lat = v.t.TCL
+		v.RowHits++
+	} else {
+		lat = v.t.TRP + v.t.TRCD + v.t.TCL
+		v.Activations++
+		b.openRow, b.hasRow = row, true
+	}
+	burst := int64(float64(r.Bytes)/v.t.BytesPerCycle + 0.999)
+	start := now + lat
+	if v.busFreeAt > start {
+		start = v.busFreeAt
+	}
+	end := start + burst
+	v.busFreeAt = end
+	b.busyUntil = end
+	if r.Write {
+		v.Writes++
+	} else {
+		v.Reads++
+	}
+	v.BytesMoved += uint64(r.Bytes)
+	v.compl = append(v.compl, completion{at: end, done: r.Done})
+	// Keep completions sorted (insertion is near-append: ends increase
+	// except when bank latencies differ).
+	for i := len(v.compl) - 1; i > 0 && v.compl[i].at < v.compl[i-1].at; i-- {
+		v.compl[i], v.compl[i-1] = v.compl[i-1], v.compl[i]
+	}
+}

@@ -1,0 +1,113 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEveryRequestCompletesExactlyOnce: under random load, each enqueued
+// request's Done fires exactly once, and byte accounting matches.
+func TestEveryRequestCompletesExactlyOnce(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 100))
+		v := NewVault(DefaultTiming())
+		fired := map[int]int{}
+		total := 600
+		issued := 0
+		var bytes uint64
+		for now := int64(0); issued < total || v.Active(); now++ {
+			if issued < total && !v.Full() && rng.Intn(3) > 0 {
+				id := issued
+				sz := 128
+				if rng.Intn(4) == 0 {
+					sz = 32 + 4*rng.Intn(24)
+				}
+				bytes += uint64(sz)
+				v.Enqueue(&Request{
+					Addr:  uint64(rng.Intn(1<<26)) &^ 127,
+					Bytes: sz,
+					Write: rng.Intn(2) == 0,
+					Done:  func(int64) { fired[id]++ },
+				})
+				issued++
+			}
+			v.Tick(now)
+			if now > 10_000_000 {
+				t.Fatal("vault did not drain")
+			}
+		}
+		for id, n := range fired {
+			if n != 1 {
+				t.Fatalf("trial %d: request %d completed %d times", trial, id, n)
+			}
+		}
+		if len(fired) != total {
+			t.Fatalf("trial %d: %d of %d requests completed", trial, len(fired), total)
+		}
+		if v.BytesMoved != bytes {
+			t.Fatalf("trial %d: moved %d bytes, want %d", trial, v.BytesMoved, bytes)
+		}
+		if v.Reads+v.Writes != uint64(total) {
+			t.Fatalf("trial %d: reads+writes = %d", trial, v.Reads+v.Writes)
+		}
+	}
+}
+
+// TestRowHitsPlusActivationsEqualRequests: every serviced request either
+// hits the open row or activates a new one.
+func TestRowHitsPlusActivationsEqualRequests(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := NewVault(DefaultTiming())
+	total := 500
+	issued := 0
+	for now := int64(0); issued < total || v.Active(); now++ {
+		if issued < total && !v.Full() {
+			// Mixed locality: half sequential (row friendly), half random.
+			var addr uint64
+			if rng.Intn(2) == 0 {
+				addr = uint64(issued) * 128 % (1 << 18)
+			} else {
+				addr = uint64(rng.Intn(1<<26)) &^ 127
+			}
+			v.Enqueue(&Request{Addr: addr, Bytes: 128})
+			issued++
+		}
+		v.Tick(now)
+	}
+	if v.RowHits+v.Activations != uint64(total) {
+		t.Fatalf("rowHits %d + activations %d != %d requests", v.RowHits, v.Activations, total)
+	}
+	if v.RowHits == 0 {
+		t.Error("sequential stream should produce some row hits")
+	}
+}
+
+// TestBankFoldPreservesRowResidency: all lines of one row map to one bank,
+// and constraining any two address bits (a consecutive-bit stack mapping)
+// still leaves all banks reachable.
+func TestBankFoldPreservesRowResidency(t *testing.T) {
+	v := NewVault(DefaultTiming())
+	for row := uint64(0); row < 256; row++ {
+		base := row * 4096
+		b0 := v.BankOf(base)
+		for off := uint64(0); off < 4096; off += 128 {
+			if v.BankOf(base+off) != b0 {
+				t.Fatalf("row %d spans banks", row)
+			}
+		}
+	}
+	for bit := 7; bit <= 16; bit++ {
+		for fixed := uint64(0); fixed < 4; fixed++ {
+			seen := map[int]bool{}
+			for i := uint64(0); i < 1<<14; i++ {
+				addr := i * 4096
+				// Constrain the two mapping bits to `fixed`.
+				addr = addr&^(3<<uint(bit)) | fixed<<uint(bit)
+				seen[v.BankOf(addr)] = true
+			}
+			if len(seen) < DefaultTiming().Banks/2 {
+				t.Fatalf("bit %d fixed=%d reaches only %d banks", bit, fixed, len(seen))
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func baselineStats() *sim.Stats {
+	// A representative baseline run: ~200K cycles, ~40 MB of traffic.
+	return &sim.Stats{
+		Cycles:          200_000,
+		ThreadInstrs:    30_000_000,
+		GPURXBytes:      36 << 20,
+		GPUTXBytes:      4 << 20,
+		DRAMActivations: 120_000,
+		InternalBytes:   40 << 20,
+	}
+}
+
+func TestBreakdownSharesMatchPaperBallpark(t *testing.T) {
+	st := baselineStats()
+	b := Compute(st, sim.BaselineConfig(), DefaultParams())
+	tot := b.Total()
+	if tot <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	smShare := b.SMs / tot
+	linkShare := b.Links / tot
+	dramShare := b.DRAM / tot
+	t.Logf("shares: SM %.2f link %.2f dram %.2f (total %.2f mJ)", smShare, linkShare, dramShare, tot*1e3)
+	// Paper baseline: SMs ~77%, links ~7%, DRAM the rest. Allow slack —
+	// these are calibration targets, not exact constants.
+	if smShare < 0.55 || smShare > 0.9 {
+		t.Errorf("SM share %.2f far from paper's ~0.77", smShare)
+	}
+	if linkShare < 0.02 || linkShare > 0.2 {
+		t.Errorf("link share %.2f far from paper's ~0.07", linkShare)
+	}
+	if dramShare < 0.05 || dramShare > 0.35 {
+		t.Errorf("DRAM share %.2f far from paper's ~0.16", dramShare)
+	}
+}
+
+func TestEnergyMonotonicInTraffic(t *testing.T) {
+	p := DefaultParams()
+	cfg := sim.BaselineConfig()
+	lo := baselineStats()
+	hi := baselineStats()
+	hi.GPURXBytes *= 2
+	hi.InternalBytes *= 2
+	hi.DRAMActivations *= 2
+	if Compute(hi, cfg, p).Total() <= Compute(lo, cfg, p).Total() {
+		t.Error("more traffic must cost more energy")
+	}
+}
+
+func TestLeakageScalesWithTime(t *testing.T) {
+	p := DefaultParams()
+	cfg := sim.BaselineConfig()
+	fast := baselineStats()
+	slow := baselineStats()
+	slow.Cycles *= 3
+	f, s := Compute(fast, cfg, p), Compute(slow, cfg, p)
+	if s.SMs <= f.SMs {
+		t.Error("longer runs must burn more static SM energy")
+	}
+}
+
+func TestIdleLinkEnergyNonNegative(t *testing.T) {
+	st := baselineStats()
+	// Pathological: more active bytes than capacity must not go negative.
+	st.GPURXBytes = 1 << 40
+	b := Compute(st, sim.BaselineConfig(), DefaultParams())
+	if b.Links <= 0 {
+		t.Errorf("link energy %v must stay positive", b.Links)
+	}
+}

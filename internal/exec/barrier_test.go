@@ -1,0 +1,88 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// TestBarrierWithEarlyExitWarps: warps that exit before a barrier must not
+// hang the CTA — the barrier releases once every *live* warp arrives (the
+// CUDA semantics for warps that have fully exited).
+func TestBarrierWithEarlyExitWarps(t *testing.T) {
+	b := isa.NewBuilder("earlyexit", 0)
+	b.SetShared(64)
+	// Threads with tid < 64 (warps 0-1) exit; warps 2-3 synchronize.
+	b.Mov(1, isa.Sp(isa.SpTid))
+	b.Setp(2, isa.CmpLT, isa.R(1), isa.Imm(64))
+	b.BraIf(isa.R(2), "out")
+	b.Bar()
+	b.Label("out")
+	b.Exit()
+	k := b.MustBuild()
+
+	if err := RunFunctional(mem.NewFlat(), Launch{Kernel: k, Grid: 1, Block: 128}); err != nil {
+		t.Fatalf("early-exit barrier should complete: %v", err)
+	}
+}
+
+// TestBarrierReleasesWhenRetiredWarpsExist: warps that exit before the
+// barrier must not block the remaining warps (they are no longer counted).
+func TestBarrierReleasesWhenRetiredWarpsExist(t *testing.T) {
+	b := isa.NewBuilder("halfbar", 1) // r0 = out
+	b.SetShared(64)
+	// Warp 0 (tid < 32) exits; warps 1..3 all hit the barrier and store.
+	b.Mov(1, isa.Sp(isa.SpTid))
+	b.Setp(2, isa.CmpLT, isa.R(1), isa.Imm(32))
+	b.BraIf(isa.R(2), "out")
+	b.Bar()
+	b.Shl(3, isa.R(1), isa.Imm(2))
+	b.Add(3, isa.R(0), isa.R(3))
+	b.St(isa.R(3), 0, isa.Imm(1))
+	b.Label("out")
+	b.Exit()
+	k := b.MustBuild()
+
+	m := mem.NewFlat()
+	out := uint64(0x9000_0000)
+	// Note: the whole warp 0 takes the branch, so it exits as a unit and
+	// the barrier count excludes it.
+	if err := RunFunctional(m, Launch{Kernel: k, Grid: 1, Block: 128, Params: []uint64{out}}); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 32; tid < 128; tid++ {
+		if m.Load4(out+uint64(4*tid)) != 1 {
+			t.Fatalf("tid %d did not pass the barrier", tid)
+		}
+	}
+}
+
+// TestMultipleBarrierRounds: warps must be able to synchronize repeatedly.
+func TestMultipleBarrierRounds(t *testing.T) {
+	b := isa.NewBuilder("rounds", 1) // r0 = out
+	b.SetShared(4)
+	b.MovI(1, 0) // round counter
+	b.Label("top")
+	b.Bar()
+	b.Add(1, isa.R(1), isa.Imm(1))
+	b.Bar()
+	b.Setp(2, isa.CmpLT, isa.R(1), isa.Imm(5))
+	b.BraIf(isa.R(2), "top")
+	b.Mov(3, isa.Sp(isa.SpGtid))
+	b.Shl(3, isa.R(3), isa.Imm(2))
+	b.Add(3, isa.R(0), isa.R(3))
+	b.St(isa.R(3), 0, isa.R(1))
+	b.Exit()
+	k := b.MustBuild()
+	m := mem.NewFlat()
+	out := uint64(0xA000_0000)
+	if err := RunFunctional(m, Launch{Kernel: k, Grid: 2, Block: 128, Params: []uint64{out}}); err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 256; tid++ {
+		if got := m.Load4(out + uint64(4*tid)); got != 5 {
+			t.Fatalf("tid %d rounds = %d, want 5", tid, got)
+		}
+	}
+}

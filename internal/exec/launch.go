@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/cfgx"
+	"repro/internal/isa"
+)
+
+// Launch describes one kernel invocation on a 1-D grid.
+type Launch struct {
+	Kernel *isa.Kernel
+	Grid   int // number of CTAs
+	Block  int // threads per CTA
+	// Params are broadcast into registers r0..r(len-1) of every thread.
+	Params []uint64
+}
+
+// Validate checks launch shape.
+func (l Launch) Validate() error {
+	if l.Kernel == nil {
+		return fmt.Errorf("exec: launch has no kernel")
+	}
+	if l.Grid < 1 || l.Block < 1 {
+		return fmt.Errorf("exec: launch %q: grid %d / block %d must be positive", l.Kernel.Name, l.Grid, l.Block)
+	}
+	if l.Block%isa.WarpSize != 0 {
+		return fmt.Errorf("exec: launch %q: block %d not a multiple of warp size %d", l.Kernel.Name, l.Block, isa.WarpSize)
+	}
+	if len(l.Params) > l.Kernel.NumParams {
+		return fmt.Errorf("exec: launch %q: %d params but kernel declares %d", l.Kernel.Name, len(l.Params), l.Kernel.NumParams)
+	}
+	return nil
+}
+
+// WarpsPerCTA returns the warp count per CTA.
+func (l Launch) WarpsPerCTA() int { return (l.Block + isa.WarpSize - 1) / isa.WarpSize }
+
+// StepHook observes every executed warp-instruction during an instrumented
+// functional run (used by the profiling pass that feeds the Fig. 5/6
+// analyses and the oracle mapping).
+type StepHook func(w *Warp, res StepResult)
+
+// RunFunctional executes the launch purely functionally (no timing): the
+// reference model. CTAs run sequentially; warps within a CTA are
+// interleaved at barrier granularity, which is sufficient for race-free
+// kernels (barriers and commutative atomics are the only permitted
+// inter-thread communication, as in the paper's offloading-legal subset).
+func RunFunctional(m Memory, l Launch) error {
+	return RunInstrumented(m, l, nil)
+}
+
+// RunInstrumented is RunFunctional with a per-step observation hook.
+func RunInstrumented(m Memory, l Launch, hook StepHook) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	info, err := cfgx.Analyze(l.Kernel)
+	if err != nil {
+		return err
+	}
+	wpc := l.WarpsPerCTA()
+	for cta := 0; cta < l.Grid; cta++ {
+		shared := make([]uint32, (l.Kernel.SharedBytes+3)/4)
+		warps := make([]*Warp, wpc)
+		for wi := 0; wi < wpc; wi++ {
+			warps[wi] = NewWarp(l.Kernel, info, WarpInfo{
+				CtaID: cta, WarpInCTA: wi, NTid: l.Block, NCtaid: l.Grid,
+			}, m, shared, l.Params)
+		}
+		atBarrier := make([]bool, wpc)
+		for {
+			busy := 0
+			progressed := false
+			for wi, w := range warps {
+				if w.Done() || atBarrier[wi] {
+					if atBarrier[wi] {
+						busy++
+					}
+					continue
+				}
+				busy++
+				for !w.Done() {
+					r := w.Step()
+					progressed = true
+					if hook != nil {
+						hook(w, r)
+					}
+					if r.Kind == StepBarrier {
+						atBarrier[wi] = true
+						break
+					}
+				}
+			}
+			if busy == 0 {
+				break
+			}
+			// Release the barrier once every unfinished warp arrived.
+			arrived := 0
+			waiting := 0
+			for wi, w := range warps {
+				if atBarrier[wi] {
+					arrived++
+					waiting++
+				} else if !w.Done() {
+					waiting++
+				}
+			}
+			if arrived > 0 && arrived == waiting {
+				for wi := range atBarrier {
+					atBarrier[wi] = false
+				}
+				progressed = true
+			}
+			if !progressed {
+				return fmt.Errorf("exec: kernel %q CTA %d: barrier deadlock", l.Kernel.Name, cta)
+			}
+		}
+	}
+	return nil
+}
+
+// RunFunctionalAll runs a sequence of launches (a whole workload).
+func RunFunctionalAll(m Memory, launches []Launch) error {
+	for i, l := range launches {
+		if err := RunFunctional(m, l); err != nil {
+			return fmt.Errorf("launch %d: %w", i, err)
+		}
+	}
+	return nil
+}

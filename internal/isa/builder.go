@@ -1,0 +1,262 @@
+package isa
+
+import "fmt"
+
+// Builder assembles kernels programmatically. It tracks labels and resolves
+// forward branch references at Build time, and records the highest register
+// used so NumRegs need not be maintained by hand.
+//
+//	b := isa.NewBuilder("saxpy", 2) // r0, r1 are parameters
+//	i := isa.Reg(2)
+//	b.Mov(i, isa.Sp(isa.SpGtid))
+//	...
+//	k, err := b.Build()
+type Builder struct {
+	name      string
+	numParams int
+	shared    int
+	instrs    []Instr
+	labels    map[string]int
+	fixups    []fixup
+	maxReg    Reg
+	err       error
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder returns a Builder for a kernel whose first numParams registers
+// are parameters loaded at launch.
+func NewBuilder(name string, numParams int) *Builder {
+	return &Builder{name: name, numParams: numParams, labels: map[string]int{}}
+}
+
+// SetShared declares the kernel's CTA shared-memory size in bytes.
+func (b *Builder) SetShared(bytes int) *Builder { b.shared = bytes; return b }
+
+func (b *Builder) note(r Reg) {
+	if r > b.maxReg {
+		b.maxReg = r
+	}
+}
+
+func (b *Builder) noteOpd(o Operand) {
+	if o.Kind == OpdReg {
+		b.note(o.Reg)
+	}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	if in.HasDst {
+		b.note(in.Dst)
+	}
+	b.noteOpd(in.A)
+	b.noteOpd(in.B)
+	b.noteOpd(in.C)
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("isa: duplicate label %q in kernel %q", name, b.name)
+	}
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+// PC returns the index the next emitted instruction will have.
+func (b *Builder) PC() int { return len(b.instrs) }
+
+func (b *Builder) alu(op Op, dst Reg, a, bo Operand) *Builder {
+	return b.emit(Instr{Op: op, Dst: dst, HasDst: true, A: a, B: bo})
+}
+
+// Mov emits dst = a.
+func (b *Builder) Mov(dst Reg, a Operand) *Builder {
+	return b.emit(Instr{Op: OpMov, Dst: dst, HasDst: true, A: a})
+}
+
+// MovI emits dst = immediate.
+func (b *Builder) MovI(dst Reg, v int64) *Builder { return b.Mov(dst, Imm(v)) }
+
+// MovF emits dst = float32 immediate (bit pattern).
+func (b *Builder) MovF(dst Reg, v float32) *Builder { return b.Mov(dst, ImmF(v)) }
+
+// Add emits dst = a + bo.
+func (b *Builder) Add(dst Reg, a, bo Operand) *Builder { return b.alu(OpAdd, dst, a, bo) }
+
+// Sub emits dst = a - bo.
+func (b *Builder) Sub(dst Reg, a, bo Operand) *Builder { return b.alu(OpSub, dst, a, bo) }
+
+// Mul emits dst = a * bo.
+func (b *Builder) Mul(dst Reg, a, bo Operand) *Builder { return b.alu(OpMul, dst, a, bo) }
+
+// Div emits dst = a / bo (signed 32-bit).
+func (b *Builder) Div(dst Reg, a, bo Operand) *Builder { return b.alu(OpDiv, dst, a, bo) }
+
+// Rem emits dst = a % bo (signed 32-bit).
+func (b *Builder) Rem(dst Reg, a, bo Operand) *Builder { return b.alu(OpRem, dst, a, bo) }
+
+// Min emits dst = min(a, bo) (signed 32-bit).
+func (b *Builder) Min(dst Reg, a, bo Operand) *Builder { return b.alu(OpMin, dst, a, bo) }
+
+// Max emits dst = max(a, bo) (signed 32-bit).
+func (b *Builder) Max(dst Reg, a, bo Operand) *Builder { return b.alu(OpMax, dst, a, bo) }
+
+// And emits dst = a & bo.
+func (b *Builder) And(dst Reg, a, bo Operand) *Builder { return b.alu(OpAnd, dst, a, bo) }
+
+// Or emits dst = a | bo.
+func (b *Builder) Or(dst Reg, a, bo Operand) *Builder { return b.alu(OpOr, dst, a, bo) }
+
+// Xor emits dst = a ^ bo.
+func (b *Builder) Xor(dst Reg, a, bo Operand) *Builder { return b.alu(OpXor, dst, a, bo) }
+
+// Shl emits dst = a << bo.
+func (b *Builder) Shl(dst Reg, a, bo Operand) *Builder { return b.alu(OpShl, dst, a, bo) }
+
+// Shr emits dst = a >> bo (logical).
+func (b *Builder) Shr(dst Reg, a, bo Operand) *Builder { return b.alu(OpShr, dst, a, bo) }
+
+// FAdd emits dst = a + bo (float32).
+func (b *Builder) FAdd(dst Reg, a, bo Operand) *Builder { return b.alu(OpFAdd, dst, a, bo) }
+
+// FSub emits dst = a - bo (float32).
+func (b *Builder) FSub(dst Reg, a, bo Operand) *Builder { return b.alu(OpFSub, dst, a, bo) }
+
+// FMul emits dst = a * bo (float32).
+func (b *Builder) FMul(dst Reg, a, bo Operand) *Builder { return b.alu(OpFMul, dst, a, bo) }
+
+// FDiv emits dst = a / bo (float32).
+func (b *Builder) FDiv(dst Reg, a, bo Operand) *Builder { return b.alu(OpFDiv, dst, a, bo) }
+
+// FNeg emits dst = -a (float32).
+func (b *Builder) FNeg(dst Reg, a Operand) *Builder {
+	return b.emit(Instr{Op: OpFNeg, Dst: dst, HasDst: true, A: a})
+}
+
+// FMA emits dst = a*bo + c (float32).
+func (b *Builder) FMA(dst Reg, a, bo, c Operand) *Builder {
+	return b.emit(Instr{Op: OpFMA, Dst: dst, HasDst: true, A: a, B: bo, C: c})
+}
+
+// CvtIF emits dst = float32(int32(a)).
+func (b *Builder) CvtIF(dst Reg, a Operand) *Builder {
+	return b.emit(Instr{Op: OpCvtIF, Dst: dst, HasDst: true, A: a})
+}
+
+// CvtFI emits dst = int32(float32(a)).
+func (b *Builder) CvtFI(dst Reg, a Operand) *Builder {
+	return b.emit(Instr{Op: OpCvtFI, Dst: dst, HasDst: true, A: a})
+}
+
+// Setp emits dst = (a cmp bo) ? 1 : 0 (signed 32-bit).
+func (b *Builder) Setp(dst Reg, c Cmp, a, bo Operand) *Builder {
+	return b.emit(Instr{Op: OpSetp, Cmp: c, Dst: dst, HasDst: true, A: a, B: bo})
+}
+
+// FSetp emits dst = (a cmp bo) ? 1 : 0 (float32).
+func (b *Builder) FSetp(dst Reg, c Cmp, a, bo Operand) *Builder {
+	return b.emit(Instr{Op: OpFSetp, Cmp: c, Dst: dst, HasDst: true, A: a, B: bo})
+}
+
+// Selp emits dst = c != 0 ? a : bo.
+func (b *Builder) Selp(dst Reg, a, bo, c Operand) *Builder {
+	return b.emit(Instr{Op: OpSelp, Dst: dst, HasDst: true, A: a, B: bo, C: c})
+}
+
+// Ld emits dst = global[addr + off].
+func (b *Builder) Ld(dst Reg, addr Operand, off int64) *Builder {
+	return b.emit(Instr{Op: OpLdGlobal, Dst: dst, HasDst: true, A: addr, Imm: off})
+}
+
+// St emits global[addr + off] = val.
+func (b *Builder) St(addr Operand, off int64, val Operand) *Builder {
+	return b.emit(Instr{Op: OpStGlobal, A: addr, B: val, Imm: off})
+}
+
+// LdShared emits dst = shared[addr + off].
+func (b *Builder) LdShared(dst Reg, addr Operand, off int64) *Builder {
+	return b.emit(Instr{Op: OpLdShared, Dst: dst, HasDst: true, A: addr, Imm: off})
+}
+
+// StShared emits shared[addr + off] = val.
+func (b *Builder) StShared(addr Operand, off int64, val Operand) *Builder {
+	return b.emit(Instr{Op: OpStShared, A: addr, B: val, Imm: off})
+}
+
+// AtomAdd emits dst = fetch-and-add(global[addr+off], val).
+func (b *Builder) AtomAdd(dst Reg, addr Operand, off int64, val Operand) *Builder {
+	return b.emit(Instr{Op: OpAtomAdd, Dst: dst, HasDst: true, A: addr, B: val, Imm: off})
+}
+
+// Bra emits an unconditional branch to label.
+func (b *Builder) Bra(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.instrs), label})
+	return b.emit(Instr{Op: OpBra})
+}
+
+// BraIf emits a branch to label taken by lanes where pred != 0.
+func (b *Builder) BraIf(pred Operand, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.instrs), label})
+	return b.emit(Instr{Op: OpBra, A: pred})
+}
+
+// BraIfNot emits a branch to label taken by lanes where pred == 0.
+func (b *Builder) BraIfNot(pred Operand, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.instrs), label})
+	return b.emit(Instr{Op: OpBra, A: pred, PredNeg: true})
+}
+
+// Bar emits a CTA-wide barrier.
+func (b *Builder) Bar() *Builder { return b.emit(Instr{Op: OpBar}) }
+
+// Exit emits a thread-exit.
+func (b *Builder) Exit() *Builder { return b.emit(Instr{Op: OpExit}) }
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// Build resolves labels, validates, and returns the kernel.
+func (b *Builder) Build() (*Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: kernel %q: undefined label %q", b.name, f.label)
+		}
+		b.instrs[f.instr].Target = pc
+	}
+	numRegs := int(b.maxReg) + 1
+	if b.numParams > numRegs {
+		numRegs = b.numParams
+	}
+	k := &Kernel{
+		Name:        b.name,
+		Instrs:      b.instrs,
+		NumRegs:     numRegs,
+		NumParams:   b.numParams,
+		SharedBytes: b.shared,
+		Labels:      b.labels,
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustBuild is Build that panics on error; intended for static kernels whose
+// correctness is covered by tests.
+func (b *Builder) MustBuild() *Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

@@ -1,0 +1,12 @@
+package isa
+
+import "math"
+
+// f32bits returns the IEEE-754 bit pattern of v.
+func f32bits(v float32) uint32 { return math.Float32bits(v) }
+
+// F32Bits converts a float32 to the register bit pattern used by the ISA.
+func F32Bits(v float32) uint64 { return uint64(math.Float32bits(v)) }
+
+// F32FromBits interprets the low 32 bits of a register as a float32.
+func F32FromBits(v uint64) float32 { return math.Float32frombits(uint32(v)) }

@@ -1,0 +1,140 @@
+// Package link models the off-chip channels of the NDP system: the
+// unidirectional GPU↔stack links (TX: GPU→memory, RX: memory→GPU, HMC-like)
+// and the cross-stack links, each with a serialization bandwidth in
+// bytes/cycle, a propagation latency, and a utilization monitor — the
+// Channel Busy Monitor of §4.1 ❷ that dynamic offloading control consults.
+package link
+
+// Packet is a unit of transfer. Bytes includes all header overhead.
+// Deliver runs at the receiving end after serialization + propagation.
+type Packet struct {
+	Bytes   int
+	Deliver func(now int64)
+}
+
+type inflight struct {
+	p  Packet
+	at int64
+}
+
+// Link is a unidirectional bandwidth-limited channel.
+type Link struct {
+	Name          string
+	BytesPerCycle float64
+	PropLatency   int64
+
+	queue     []Packet
+	headRem   float64 // bytes of the head packet not yet serialized
+	inflight  []inflight
+	busWindow busyMonitor
+
+	// Stats.
+	BytesSent   uint64
+	PacketsSent uint64
+	BusyCycles  uint64
+}
+
+// New creates a link.
+func New(name string, bytesPerCycle float64, propLatency int64) *Link {
+	return &Link{Name: name, BytesPerCycle: bytesPerCycle, PropLatency: propLatency,
+		busWindow: newBusyMonitor(1024)}
+}
+
+// Send enqueues a packet for transmission.
+func (l *Link) Send(p Packet) {
+	if len(l.queue) == 0 {
+		l.headRem = float64(p.Bytes)
+	}
+	l.queue = append(l.queue, p)
+}
+
+// QueuedPackets returns the number of packets not yet fully serialized.
+func (l *Link) QueuedPackets() int { return len(l.queue) }
+
+// Active reports whether the link has pending work.
+func (l *Link) Active() bool { return len(l.queue) > 0 || len(l.inflight) > 0 }
+
+// Tick advances one cycle: serializes up to BytesPerCycle bytes and
+// delivers packets whose propagation completed.
+func (l *Link) Tick(now int64) {
+	busy := len(l.queue) > 0
+	if busy {
+		l.BusyCycles++
+		budget := l.BytesPerCycle
+		for budget > 0 && len(l.queue) > 0 {
+			if l.headRem > budget {
+				l.headRem -= budget
+				budget = 0
+				break
+			}
+			budget -= l.headRem
+			p := l.queue[0]
+			l.queue = l.queue[1:]
+			l.BytesSent += uint64(p.Bytes)
+			l.PacketsSent++
+			l.inflight = append(l.inflight, inflight{p: p, at: now + l.PropLatency})
+			if len(l.queue) > 0 {
+				l.headRem = float64(l.queue[0].Bytes)
+			}
+		}
+	}
+	l.busWindow.record(now, busy)
+	for len(l.inflight) > 0 && l.inflight[0].at <= now {
+		f := l.inflight[0]
+		l.inflight = l.inflight[1:]
+		if f.p.Deliver != nil {
+			f.p.Deliver(now)
+		}
+	}
+}
+
+// Utilization returns the fraction of recent cycles (a 1024-cycle sliding
+// window) the link spent serializing.
+func (l *Link) Utilization() float64 { return l.busWindow.utilization() }
+
+// Busy reports whether recent utilization exceeds threshold — the Channel
+// Busy Monitor's output (§3.3, §4.2 dynamic decision step 2).
+func (l *Link) Busy(threshold float64) bool { return l.Utilization() > threshold }
+
+// busyMonitor tracks utilization over a power-of-two sliding window using
+// coarse buckets.
+type busyMonitor struct {
+	window  int64
+	buckets [8]int64 // busy-cycle counts per sub-window
+	current int64    // index of active bucket (derived from time)
+	lastSub int64
+}
+
+func newBusyMonitor(window int64) busyMonitor {
+	return busyMonitor{window: window, lastSub: -1}
+}
+
+func (m *busyMonitor) record(now int64, busy bool) {
+	sub := now / (m.window / int64(len(m.buckets)))
+	if sub != m.lastSub {
+		// Advance; clear skipped buckets (bounded: a gap of a full
+		// window clears everything).
+		n := int64(len(m.buckets))
+		if sub-m.lastSub >= n {
+			for i := range m.buckets {
+				m.buckets[i] = 0
+			}
+		} else {
+			for s := m.lastSub + 1; s <= sub; s++ {
+				m.buckets[s%n] = 0
+			}
+		}
+		m.lastSub = sub
+	}
+	if busy {
+		m.buckets[sub%int64(len(m.buckets))]++
+	}
+}
+
+func (m *busyMonitor) utilization() float64 {
+	var busy int64
+	for _, b := range m.buckets {
+		busy += b
+	}
+	return float64(busy) / float64(m.window)
+}

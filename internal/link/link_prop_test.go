@@ -1,0 +1,78 @@
+package link
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomTrafficConservation: under random arrivals, every packet is
+// delivered exactly once, in order, and sustained throughput never exceeds
+// the configured bandwidth.
+func TestRandomTrafficConservation(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		bw := 4 + rng.Float64()*60
+		lat := int64(rng.Intn(50))
+		l := New("t", bw, lat)
+		total := 400
+		sent := 0
+		var sentBytes uint64
+		delivered := make([]int, 0, total)
+		deliveredAt := make([]int64, 0, total)
+		var now int64
+		for ; sent < total || l.Active(); now++ {
+			if sent < total && rng.Intn(3) == 0 {
+				id := sent
+				sz := 4 + rng.Intn(200)
+				sentBytes += uint64(sz)
+				l.Send(Packet{Bytes: sz, Deliver: func(at int64) {
+					delivered = append(delivered, id)
+					deliveredAt = append(deliveredAt, at)
+				}})
+				sent++
+			}
+			l.Tick(now)
+			if now > 1_000_000 {
+				t.Fatal("link did not drain")
+			}
+		}
+		if len(delivered) != total {
+			t.Fatalf("trial %d: delivered %d of %d", trial, len(delivered), total)
+		}
+		for i, id := range delivered {
+			if id != i {
+				t.Fatalf("trial %d: out-of-order delivery %v", trial, delivered[:i+1])
+			}
+			if i > 0 && deliveredAt[i] < deliveredAt[i-1] {
+				t.Fatalf("trial %d: delivery times ran backwards", trial)
+			}
+		}
+		if l.BytesSent != sentBytes {
+			t.Fatalf("trial %d: bytes sent %d, want %d", trial, l.BytesSent, sentBytes)
+		}
+		// Throughput bound: serialization alone needs bytes/bw cycles.
+		minCycles := float64(sentBytes) / bw
+		if float64(now) < minCycles-1 {
+			t.Fatalf("trial %d: drained %d bytes in %d cycles, below the %.0f-cycle bandwidth bound",
+				trial, sentBytes, now, minCycles)
+		}
+		if u := l.Utilization(); u < 0 || u > 1.001 {
+			t.Fatalf("trial %d: utilization %v out of range", trial, u)
+		}
+	}
+}
+
+// TestLatencyLowerBound: no packet can arrive before serialization plus
+// propagation.
+func TestLatencyLowerBound(t *testing.T) {
+	l := New("t", 10, 25)
+	var at int64 = -1
+	l.Send(Packet{Bytes: 100, Deliver: func(now int64) { at = now }})
+	for now := int64(0); at < 0 && now < 1000; now++ {
+		l.Tick(now)
+	}
+	// 100 B at 10 B/cy = 10 cycles serialization, +25 propagation.
+	if at < 34 {
+		t.Fatalf("delivered at %d, before the 34-cycle lower bound", at)
+	}
+}

@@ -1,0 +1,101 @@
+package link
+
+import "testing"
+
+func TestSerializationAndPropagation(t *testing.T) {
+	l := New("tx", 8, 10) // 8 B/cycle, 10 cycles propagation
+	var deliveredAt int64 = -1
+	l.Send(Packet{Bytes: 64, Deliver: func(now int64) { deliveredAt = now }})
+	for now := int64(0); now < 100 && deliveredAt < 0; now++ {
+		l.Tick(now)
+	}
+	// 64 B at 8 B/cycle = 8 cycles of serialization (finishing on the
+	// 8th tick, t=7), plus 10 cycles propagation.
+	if deliveredAt != 17 {
+		t.Errorf("delivered at %d, want 17", deliveredAt)
+	}
+	if l.BytesSent != 64 || l.PacketsSent != 1 {
+		t.Errorf("stats: %d bytes / %d packets", l.BytesSent, l.PacketsSent)
+	}
+}
+
+func TestFIFOOrderAndConservation(t *testing.T) {
+	l := New("tx", 16, 5)
+	var order []int
+	total := 0
+	for i := 0; i < 20; i++ {
+		i := i
+		bytes := 16 + 16*(i%4)
+		total += bytes
+		l.Send(Packet{Bytes: bytes, Deliver: func(int64) { order = append(order, i) }})
+	}
+	for now := int64(0); now < 1000; now++ {
+		l.Tick(now)
+		if !l.Active() && len(order) == 20 {
+			break
+		}
+	}
+	if len(order) != 20 {
+		t.Fatalf("delivered %d packets, want 20", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out of order: %v", order)
+		}
+	}
+	if l.BytesSent != uint64(total) {
+		t.Errorf("bytes sent = %d, want %d (conservation)", l.BytesSent, total)
+	}
+}
+
+func TestBigPacketSerializesGradually(t *testing.T) {
+	l := New("tx", 4, 0)
+	done := false
+	l.Send(Packet{Bytes: 1000, Deliver: func(int64) { done = true }})
+	var now int64
+	for ; now < 10000 && !done; now++ {
+		l.Tick(now)
+	}
+	// 1000/4 = 250 cycles.
+	if now < 249 || now > 252 {
+		t.Errorf("big packet took %d cycles, want ~250", now)
+	}
+}
+
+func TestUtilizationSaturates(t *testing.T) {
+	l := New("tx", 8, 0)
+	for now := int64(0); now < 2048; now++ {
+		if l.QueuedPackets() < 4 {
+			l.Send(Packet{Bytes: 128})
+		}
+		l.Tick(now)
+	}
+	if u := l.Utilization(); u < 0.9 {
+		t.Errorf("saturated utilization = %v, want ~1", u)
+	}
+	if !l.Busy(0.5) {
+		t.Error("link should report busy")
+	}
+	// Drain and go idle: utilization must decay.
+	for now := int64(2048); now < 2048+4096; now++ {
+		l.Tick(now)
+	}
+	if u := l.Utilization(); u > 0.1 {
+		t.Errorf("idle utilization = %v, want ~0", u)
+	}
+}
+
+func TestThroughputMatchesBandwidth(t *testing.T) {
+	l := New("tx", 57.14, 20) // the default GPU->stack link
+	delivered := 0
+	for now := int64(0); now < 10000; now++ {
+		if l.QueuedPackets() < 8 {
+			l.Send(Packet{Bytes: 144, Deliver: func(int64) { delivered++ }})
+		}
+		l.Tick(now)
+	}
+	gbps := float64(l.BytesSent) / 10000 // bytes per cycle
+	if gbps < 56 || gbps > 58 {
+		t.Errorf("sustained throughput = %.2f B/cy, want ~57.14", gbps)
+	}
+}

@@ -1,0 +1,212 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestBaselineSpreadsLines(t *testing.T) {
+	b := Baseline{Stacks: 4}
+	counts := make([]int, 4)
+	for i := 0; i < 1<<14; i++ {
+		addr := uint64(i) * CacheLineBytes
+		s := b.Stack(addr)
+		if s < 0 || s >= 4 {
+			t.Fatalf("stack %d out of range", s)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < (1<<14)/4-64 || c > (1<<14)/4+64 {
+			t.Errorf("stack %d gets %d lines, want ~%d", s, c, (1<<14)/4)
+		}
+	}
+}
+
+func TestBaselineStableWithinLine(t *testing.T) {
+	f := func(addr uint64) bool {
+		b := Baseline{Stacks: 4}
+		base := addr &^ uint64(CacheLineBytes-1)
+		return b.Stack(base) == b.Stack(base+CacheLineBytes-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsecutiveBitsMapping(t *testing.T) {
+	c := ConsecutiveBits{Stacks: 4, Bit: 12}
+	// Addresses within one 4 KB chunk land on one stack...
+	s0 := c.Stack(0)
+	for a := uint64(0); a < 4096; a += 128 {
+		if c.Stack(a) != s0 {
+			t.Fatalf("addr %#x left home stack", a)
+		}
+	}
+	// ...and the four consecutive chunks cover all stacks.
+	seen := map[int]bool{}
+	for chunk := uint64(0); chunk < 4; chunk++ {
+		seen[c.Stack(chunk*4096)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("4 consecutive chunks cover %d stacks, want 4", len(seen))
+	}
+}
+
+func TestHybridDispatch(t *testing.T) {
+	at := mem.NewAllocTable()
+	a := at.Alloc("a", 1<<20)
+	b := at.Alloc("b", 1<<20)
+	r, err := at.Lookup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.OffloadMapped = true
+	h := Hybrid{
+		Table:   at,
+		Default: Baseline{Stacks: 4},
+		Offload: ConsecutiveBits{Stacks: 4, Bit: 14},
+	}
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		if got, want := h.Stack(a+off), (ConsecutiveBits{Stacks: 4, Bit: 14}).Stack(a+off); got != want {
+			t.Fatalf("offload-mapped range used wrong policy at +%#x", off)
+		}
+		if got, want := h.Stack(b+off), (Baseline{Stacks: 4}).Stack(b+off); got != want {
+			t.Fatalf("default range used wrong policy at +%#x", off)
+		}
+	}
+}
+
+func TestVaultOfInRangeAndBalanced(t *testing.T) {
+	counts := make([]int, 16)
+	for i := 0; i < 1<<14; i++ {
+		v := VaultOf(uint64(i)*CacheLineBytes, 16)
+		if v < 0 || v >= 16 {
+			t.Fatalf("vault %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < (1<<14)/16-64 || c > (1<<14)/16+64 {
+			t.Errorf("vault %d gets %d lines", v, c)
+		}
+	}
+}
+
+// Plant a workload whose accesses share bit-12-aligned structure: two
+// arrays at a 2^20 distance accessed with the same index. The analyzer
+// must find a bit that achieves perfect co-location, and prefer it over
+// the baseline.
+func TestAnalyzerFindsPlantedMapping(t *testing.T) {
+	at := mem.NewAllocTable()
+	a := at.Alloc("a", 1<<20)
+	bAddr := at.Alloc("b", 1<<20)
+	an := NewAnalyzer(4, at)
+	rng := rand.New(rand.NewSource(7))
+	for inst := 0; inst < 200; inst++ {
+		idx := uint64(rng.Intn(1 << 18))
+		// Instance touches a[idx..idx+31] and b[idx..idx+31] (words).
+		var addrs []uint64
+		for l := uint64(0); l < 32; l++ {
+			addrs = append(addrs, a+4*(idx+l))
+		}
+		for l := uint64(0); l < 32; l++ {
+			addrs = append(addrs, bAddr+4*(idx+l))
+		}
+		an.ObserveInstance(addrs)
+	}
+	best := an.BestBit()
+	if co := an.CoLocation(best); co < 0.99 {
+		t.Errorf("best bit %d co-location = %v, want ~1.0", best, co)
+	}
+	if an.BaselineCoLocation() > 0.6 {
+		t.Errorf("baseline co-location = %v, unexpectedly high", an.BaselineCoLocation())
+	}
+	// Both ranges must be flagged as candidate-touched.
+	for _, name := range []string{"a", "b"} {
+		r, err := at.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.CandidateTouched {
+			t.Errorf("range %q not flagged", name)
+		}
+	}
+	if an.Instances() != 200 {
+		t.Errorf("instances = %d", an.Instances())
+	}
+}
+
+func TestAnalyzerStorageBits(t *testing.T) {
+	// Paper §6.6: 40 bits per instance x 48 warps = 1,920 bits per SM.
+	if got := StorageBitsPerSM(48); got != 1920 {
+		t.Errorf("analyzer storage = %d bits, want 1920", got)
+	}
+}
+
+func TestOffsetTrackerFixed(t *testing.T) {
+	tr := NewOffsetTracker()
+	// ld A[i]; st B[i] with constant &B-&A: all accesses fixed.
+	for i := 0; i < 50; i++ {
+		tr.ObserveInstance([]InstanceAccess{
+			{PC: 4, Addr: 0x1000_0000 + uint64(128*i)},
+			{PC: 7, Addr: 0x2000_0000 + uint64(128*i)},
+		})
+	}
+	frac, ok := tr.FixedFraction()
+	if !ok || frac != 1.0 {
+		t.Errorf("fixed fraction = %v (%v), want 1.0", frac, ok)
+	}
+	if Bucket(frac) != BucketAllFixed {
+		t.Errorf("bucket = %v", Bucket(frac))
+	}
+}
+
+func TestOffsetTrackerIrregular(t *testing.T) {
+	tr := NewOffsetTracker()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		tr.ObserveInstance([]InstanceAccess{
+			{PC: 4, Addr: uint64(rng.Intn(1 << 28))},
+			{PC: 7, Addr: uint64(rng.Intn(1 << 28))},
+		})
+	}
+	frac, ok := tr.FixedFraction()
+	if !ok || frac > 0.1 {
+		t.Errorf("irregular fixed fraction = %v, want ~0", frac)
+	}
+}
+
+func TestOffsetBuckets(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want OffsetBucket
+	}{
+		{1.0, BucketAllFixed}, {0.8, Bucket75to99}, {0.6, Bucket50to75},
+		{0.3, Bucket25to50}, {0.1, Bucket0to25}, {0, BucketNone},
+	}
+	for _, c := range cases {
+		if got := Bucket(c.frac); got != c.want {
+			t.Errorf("Bucket(%v) = %v, want %v", c.frac, got, c.want)
+		}
+	}
+	for b := BucketAllFixed; b < NumOffsetBuckets; b++ {
+		if b.String() == "" {
+			t.Errorf("bucket %d has no label", b)
+		}
+	}
+}
+
+func TestOffsetTrackerEmpty(t *testing.T) {
+	tr := NewOffsetTracker()
+	if _, ok := tr.FixedFraction(); ok {
+		t.Error("empty tracker should report !ok")
+	}
+	tr.ObserveInstance([]InstanceAccess{{PC: 1, Addr: 0}})
+	if _, ok := tr.FixedFraction(); ok {
+		t.Error("single-access instances produce no pairs")
+	}
+}

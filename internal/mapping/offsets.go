@@ -1,0 +1,110 @@
+package mapping
+
+// OffsetTracker implements the access-pattern analysis behind Fig. 5 of the
+// paper: how many of an offloading candidate's memory accesses sit at a
+// fixed offset from each other. Two accesses are "fixed offset" when the
+// static instruction pair that produced them is always separated by the
+// same address delta, across every dynamic instance of the candidate —
+// e.g. A[i] and B[i] are separated by &B - &A regardless of i (§3.2.1).
+//
+// One tracker instance serves one static candidate block. Feed it the
+// (pc, leader-lane address) sequence of every candidate instance.
+type OffsetTracker struct {
+	pairs map[pairKey]*pairStat
+	// total counts dynamic accesses that participated in a pair (i.e.
+	// all but the first access of each instance).
+	total uint64
+}
+
+type pairKey struct{ fromPC, toPC int }
+
+type pairStat struct {
+	delta uint64
+	count uint64
+	mixed bool
+}
+
+// NewOffsetTracker returns an empty tracker.
+func NewOffsetTracker() *OffsetTracker {
+	return &OffsetTracker{pairs: map[pairKey]*pairStat{}}
+}
+
+// InstanceAccess is one warp-level memory access of a candidate instance.
+type InstanceAccess struct {
+	PC   int
+	Addr uint64
+}
+
+// ObserveInstance records the ordered access stream of one instance.
+func (t *OffsetTracker) ObserveInstance(seq []InstanceAccess) {
+	for i := 1; i < len(seq); i++ {
+		k := pairKey{seq[i-1].PC, seq[i].PC}
+		d := seq[i].Addr - seq[i-1].Addr
+		s := t.pairs[k]
+		if s == nil {
+			t.pairs[k] = &pairStat{delta: d, count: 1}
+		} else {
+			if s.delta != d {
+				s.mixed = true
+			}
+			s.count++
+		}
+		t.total++
+	}
+}
+
+// FixedFraction returns the fraction of observed accesses whose
+// instruction pair kept a constant offset. Returns ok=false when the
+// candidate produced no pairable accesses.
+func (t *OffsetTracker) FixedFraction() (frac float64, ok bool) {
+	if t.total == 0 {
+		return 0, false
+	}
+	var fixed uint64
+	for _, s := range t.pairs {
+		if !s.mixed {
+			fixed += s.count
+		}
+	}
+	return float64(fixed) / float64(t.total), true
+}
+
+// OffsetBucket classifies a candidate for the Fig. 5 histogram.
+type OffsetBucket int
+
+// Fig. 5 buckets.
+const (
+	BucketAllFixed OffsetBucket = iota // all accesses fixed offset
+	Bucket75to99
+	Bucket50to75
+	Bucket25to50
+	Bucket0to25
+	BucketNone // no access fixed offset
+	NumOffsetBuckets
+)
+
+var bucketNames = [...]string{
+	"All accesses fixed offset", "75%-99% fixed offset", "50%-75% fixed offset",
+	"25%-50% fixed offset", "0%-25% fixed offset", "No access fixed offset",
+}
+
+// String returns the paper's legend label.
+func (b OffsetBucket) String() string { return bucketNames[b] }
+
+// Bucket maps a fixed fraction to its Fig. 5 bucket.
+func Bucket(frac float64) OffsetBucket {
+	switch {
+	case frac >= 1.0:
+		return BucketAllFixed
+	case frac >= 0.75:
+		return Bucket75to99
+	case frac >= 0.50:
+		return Bucket50to75
+	case frac >= 0.25:
+		return Bucket25to50
+	case frac > 0:
+		return Bucket0to25
+	default:
+		return BucketNone
+	}
+}

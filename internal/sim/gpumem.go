@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"repro/internal/cache"
+)
+
+// l2sys is the GPU-side shared L2: banked by line address, write-through,
+// write-no-allocate, with MSHR merging. Misses travel over the per-stack TX
+// links (or the PCI-E path during the learning phase) and fills return on
+// the RX links.
+type l2sys struct {
+	sys   *System
+	banks []*l2bank
+}
+
+type l2bank struct {
+	tags  *cache.Cache
+	queue []*txn
+	sys   *System
+}
+
+type l2entry struct {
+	waiters []*txn
+}
+
+func newL2(sys *System) *l2sys {
+	c := sys.cfg
+	l2 := &l2sys{sys: sys}
+	for i := 0; i < c.L2Banks; i++ {
+		l2.banks = append(l2.banks, &l2bank{
+			tags: cache.New(c.L2Bytes/c.L2Banks, c.L2Ways, c.LineBytes),
+			sys:  sys,
+		})
+	}
+	return l2
+}
+
+func (l2 *l2sys) bankOf(line uint64) *l2bank {
+	return l2.banks[(line>>7)%uint64(len(l2.banks))]
+}
+
+// accept implements memPort for main-GPU SMs.
+func (l2 *l2sys) accept(now int64, t *txn) bool {
+	b := l2.bankOf(t.line)
+	if len(b.queue) >= l2.sys.cfg.L2BankQueue {
+		return false
+	}
+	b.queue = append(b.queue, t)
+	return true
+}
+
+// invalidate drops a line from the L2 (offload coherence).
+func (l2 *l2sys) invalidate(line uint64) {
+	l2.bankOf(line).tags.Invalidate(line)
+}
+
+func (l2 *l2sys) invalidateAll() {
+	for _, b := range l2.banks {
+		b.tags.InvalidateAll()
+	}
+}
+
+func (l2 *l2sys) tick(now int64) {
+	for _, b := range l2.banks {
+		b.tick(now)
+	}
+}
+
+func (l2 *l2sys) active() bool {
+	for _, b := range l2.banks {
+		if len(b.queue) > 0 {
+			return true
+		}
+	}
+	return len(l2.sys.l2mshr) > 0
+}
+
+func (b *l2bank) tick(now int64) {
+	if len(b.queue) == 0 {
+		return
+	}
+	sys := b.sys
+	t := b.queue[0]
+	if t.store {
+		// Write-through: refresh LRU if present, always forward.
+		b.tags.Lookup(t.line)
+		n := copy(b.queue, b.queue[1:])
+		b.queue = b.queue[:n]
+		sys.wheel.after(sys.cfg.L2Lat/3, func(at int64) { sys.routeStore(t, at) })
+		return
+	}
+	// Load.
+	if _, merged := sys.l2mshr[t.line]; merged {
+		sys.l2mshr[t.line].waiters = append(sys.l2mshr[t.line].waiters, t)
+		n := copy(b.queue, b.queue[1:])
+		b.queue = b.queue[:n]
+		sys.stats.L2Hits++ // merged under an outstanding fill
+		return
+	}
+	if b.tags.Lookup(t.line) {
+		sys.stats.L2Hits++
+		n := copy(b.queue, b.queue[1:])
+		b.queue = b.queue[:n]
+		sys.wheel.after(sys.cfg.L2Lat, t.onData)
+		return
+	}
+	if len(sys.l2mshr) >= sys.cfg.L2MSHRs {
+		return // head-of-line block until an MSHR frees
+	}
+	sys.stats.L2Misses++
+	n := copy(b.queue, b.queue[1:])
+	b.queue = b.queue[:n]
+	sys.l2mshr[t.line] = &l2entry{waiters: []*txn{t}}
+	line := t.line
+	sys.wheel.after(sys.cfg.L2Lat/3, func(at int64) { sys.routeLoad(line, at) })
+}
+
+// l2fill completes an outstanding L2 miss: install the tag and wake every
+// merged waiter.
+func (sys *System) l2fill(line uint64, now int64) {
+	e := sys.l2mshr[line]
+	if e == nil {
+		return
+	}
+	delete(sys.l2mshr, line)
+	sys.l2.bankOf(line).tags.Fill(line)
+	for _, t := range e.waiters {
+		t.onData(now)
+	}
+}
+
+// routeLoad sends an L2 miss toward memory: the owning stack's vault, or
+// CPU memory over PCI-E during the learning phase.
+func (sys *System) routeLoad(line uint64, now int64) {
+	if sys.learning {
+		sys.pcieLoad(line, now)
+		return
+	}
+	s := sys.stackOf(line)
+	sys.txLinks[s].Send(packetOf(reqHeaderBytes, func(at int64) {
+		sys.stacks[s].serveLine(line, 0, false, at, func(done int64) {
+			sys.rxLinks[s].Send(packetOf(sys.cfg.LineBytes+lineRespExtra, func(rx int64) {
+				sys.l2fill(line, rx)
+			}))
+		})
+	}))
+}
+
+// routeStore sends a write-through store (or atomic) to its memory stack.
+func (sys *System) routeStore(t *txn, now int64) {
+	if sys.learning {
+		sys.pcieStore(t, now)
+		return
+	}
+	s := sys.stackOf(t.line)
+	bytes := reqHeaderBytes + t.bytes
+	ack := storeAckBytes
+	if t.atom {
+		ack = reqHeaderBytes // atomics return the old value
+	}
+	sys.txLinks[s].Send(packetOf(bytes, func(at int64) {
+		sys.stacks[s].serveLine(t.line, t.bytes, true, at, func(done int64) {
+			sys.rxLinks[s].Send(packetOf(ack, t.onData))
+		})
+	}))
+}
+
+// pcieLoad / pcieStore model the learning phase running out of CPU memory
+// (§4.3 step 2): every access crosses the measured-latency PCI-E path.
+func (sys *System) pcieLoad(line uint64, now int64) {
+	sys.pcieTX.Send(packetOf(reqHeaderBytes, func(at int64) {
+		sys.pcieRX.Send(packetOf(sys.cfg.LineBytes+lineRespExtra, func(rx int64) {
+			sys.l2fill(line, rx)
+		}))
+	}))
+}
+
+func (sys *System) pcieStore(t *txn, now int64) {
+	sys.pcieTX.Send(packetOf(reqHeaderBytes+t.bytes, func(at int64) {
+		sys.pcieRX.Send(packetOf(storeAckBytes, t.onData))
+	}))
+}

@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/exec"
+	"repro/internal/isa"
+)
+
+// offloadJob carries one offloaded candidate instance: the request the
+// Offload Controller packs (live-in registers, PCs, active mask — §4.2) and
+// the acknowledgment state (live-out registers, dirty-line list — §4.4.2).
+type offloadJob struct {
+	cand    *compiler.Candidate
+	srcSM   *SM
+	srcWarp *smWarp
+	dest    int
+	mask    uint32
+	winfo   exec.WarpInfo
+	liveIn  [][isa.WarpSize]uint64
+	liveOut [][isa.WarpSize]uint64
+	dirty   map[uint64]struct{}
+}
+
+// handleCandidateEntry runs when a main-SM warp reaches a candidate's start
+// PC. It returns true when the warp was captured (offload in progress); on
+// false the warp executes the region inline.
+func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candidate, now int64) bool {
+	sys.stats.CandidateInstances++
+	if sys.learning {
+		sw.collect = &collectState{cand: cand}
+		return false
+	}
+	switch sys.cfg.Offload {
+	case OffloadOff:
+		return false
+	case OffloadIdeal:
+		return sys.offloadIdeal(sm, sw, cand, now)
+	}
+
+	// Conditional candidates: evaluate the compiler's hint against the
+	// leader lane's registers (§4.2 dynamic decision step 1).
+	if cand.Conditional() {
+		lane := sw.w.LeaderLane()
+		if lane < 0 {
+			return false
+		}
+		cond := cand.Trip.Cond
+		ind := int64(sw.w.Regs[cond.IndReg][lane])
+		var bound int64
+		if cond.BoundIsReg {
+			bound = int64(sw.w.Regs[cond.BoundReg][lane])
+		}
+		if cond.Trips(ind, bound) < cond.MinTrips {
+			sys.stats.OffloadsSkippedCond++
+			return false
+		}
+	}
+
+	dest := sys.destStack(sw, cand)
+	if dest < 0 {
+		return false
+	}
+
+	if sys.cfg.Offload == OffloadControlled {
+		// Extension (§6.4 future work): ALU-ratio-aware gating.
+		if g := sys.cfg.ALUGate; g > 0 && cand.ALUFrac > g &&
+			sys.pendingOffloads[dest] > sys.cfg.StackSMs*sys.cfg.StackWarps()/2 {
+			sys.stats.OffloadsSkippedALU++
+			return false
+		}
+		// Step 2: channel-busy gating via the 2-bit tag (§3.3).
+		th := sys.cfg.BusyThreshold
+		if !cand.SavesTX && sys.txLinks[dest].Busy(th) {
+			sys.stats.OffloadsSkippedBusy++
+			return false
+		}
+		if !cand.SavesRX && sys.rxLinks[dest].Busy(th) {
+			sys.stats.OffloadsSkippedBusy++
+			return false
+		}
+		// Step 3: pending-offload limit = stack SM warp capacity.
+		if sys.pendingOffloads[dest] >= sys.cfg.StackSMs*sys.cfg.StackWarps() {
+			sys.stats.OffloadsSkippedFull++
+			return false
+		}
+	}
+
+	sys.pendingOffloads[dest]++
+	if sys.cfg.Coherence && sw.pendingStores > 0 {
+		// §4.4.2 step 1: push all memory update traffic to memory
+		// before issuing the offload request.
+		sw.drainCand = cand
+		sw.drainDest = dest
+		sm.unready(sw, wsWaitDrain)
+		sys.stats.StoreDrainStalls++
+		return true
+	}
+	sys.launchOffload(sm, sw, cand, dest, now)
+	return true
+}
+
+// launchOffload packs and sends the offload request.
+func (sys *System) launchOffload(sm *SM, sw *smWarp, cand *compiler.Candidate, dest int, now int64) {
+	sm.unready(sw, wsWaitOffload)
+	job := &offloadJob{
+		cand: cand, srcSM: sm, srcWarp: sw, dest: dest,
+		mask: sw.w.ActiveMask(), winfo: sw.w.WInfo,
+		dirty: make(map[uint64]struct{}),
+	}
+	// Copy live-in register lanes (the request payload).
+	k := sw.w.Kernel
+	job.liveIn = make([][isa.WarpSize]uint64, k.NumRegs)
+	for r := 0; r < k.NumRegs; r++ {
+		if cand.LiveIn&(1<<r) != 0 {
+			job.liveIn[r] = sw.w.Regs[r]
+		}
+	}
+	reqBytes := offloadHdrBytes + cand.NumLiveIn()*isa.WarpSize*regLaneBytes
+	sys.stats.OffloadsSent++
+	sys.wheel.after(sys.cfg.OffloadPipeLat, func(at int64) {
+		sys.txLinks[dest].Send(packetOf(reqBytes, func(rx int64) {
+			sm := sys.stacks[dest].spawnTarget()
+			sm.spawnQ = append(sm.spawnQ, job)
+		}))
+	})
+}
+
+// offloadIdeal is the Fig. 2 idealization: zero-cost transfer and perfect
+// co-location (forceColocate steers every access of the stack SM to its own
+// stack). Stack warp capacity still applies — the idealization removes
+// offload overheads, not the logic layer's execution resources.
+func (sys *System) offloadIdeal(sm *SM, sw *smWarp, cand *compiler.Candidate, now int64) bool {
+	dest := sys.destStack(sw, cand)
+	if dest < 0 {
+		return false
+	}
+	if sys.pendingOffloads[dest] >= sys.cfg.StackSMs*sys.cfg.StackWarps() {
+		sys.stats.OffloadsSkippedFull++
+		return false
+	}
+	sm.unready(sw, wsWaitOffload)
+	job := &offloadJob{
+		cand: cand, srcSM: sm, srcWarp: sw, dest: dest,
+		mask: sw.w.ActiveMask(), winfo: sw.w.WInfo,
+		dirty: make(map[uint64]struct{}),
+	}
+	k := sw.w.Kernel
+	job.liveIn = make([][isa.WarpSize]uint64, k.NumRegs)
+	for r := 0; r < k.NumRegs; r++ {
+		if cand.LiveIn&(1<<r) != 0 {
+			job.liveIn[r] = sw.w.Regs[r]
+		}
+	}
+	sys.pendingOffloads[dest]++
+	sys.stats.OffloadsSent++
+	sm2 := sys.stacks[dest].spawnTarget()
+	sm2.spawnQ = append(sm2.spawnQ, job)
+	return true
+}
+
+// trySpawn starts queued offload jobs on free stack-SM warp slots.
+func (sm *SM) trySpawn(now int64) {
+	for len(sm.spawnQ) > 0 {
+		if sm.freeSlots == 0 {
+			if sm.sys.cfg.Offload != OffloadIdeal {
+				return
+			}
+			// Ideal mode: oversubscribe.
+		}
+		job := sm.spawnQ[0]
+		n := copy(sm.spawnQ, sm.spawnQ[1:])
+		sm.spawnQ = sm.spawnQ[:n]
+		sm.spawn(job, now)
+		if sm.sys.cfg.Offload != OffloadIdeal {
+			return // one spawn per cycle
+		}
+	}
+}
+
+func (sm *SM) spawn(job *offloadJob, now int64) {
+	if sm.sys.cfg.Coherence {
+		// §4.4.2 step 2: invalidate the stack SM's private cache before
+		// running the offloaded block.
+		sm.l1.InvalidateAll()
+	}
+	cand := job.cand
+	md := job.srcWarp.md
+	w := exec.NewRegionWarp(md.Kernel, md.Info, job.winfo, sm.sys.mem, job.mask,
+		cand.StartPC, cand.EndPC, cand.LiveIn, job.liveIn)
+	slot := sm.findFreeSlot()
+	sw := &smWarp{sm: sm, slot: slot, w: w, md: md, job: job}
+	sm.warps[slot] = sw
+	if sm.freeSlots > 0 {
+		sm.freeSlots--
+	}
+	sm.setReady(sw)
+}
+
+// sendOffloadAck fires when a stack warp finishes its region and its
+// write-through stores have drained: live-out registers and the dirty-line
+// list travel back on the RX channel.
+func (sys *System) sendOffloadAck(sw *smWarp, now int64) {
+	sm := sw.sm
+	job := sw.job
+	sm.unready(sw, wsRetired)
+	sm.warps[sw.slot] = nil
+	sm.freeSlots++
+
+	cand := job.cand
+	k := sw.w.Kernel
+	job.liveOut = make([][isa.WarpSize]uint64, k.NumRegs)
+	for r := 0; r < k.NumRegs; r++ {
+		if cand.LiveOut&(1<<r) != 0 {
+			job.liveOut[r] = sw.w.Regs[r]
+		}
+	}
+	ackBytes := reqHeaderBytes + cand.NumLiveOut()*isa.WarpSize*regLaneBytes
+	if sys.cfg.Coherence {
+		ackBytes += len(job.dirty) * dirtyAddrBytes
+	}
+	if sys.cfg.Offload == OffloadIdeal {
+		sys.wheel.after(1, func(at int64) { sys.finishOffload(job, at) })
+		return
+	}
+	sys.rxLinks[job.dest].Send(packetOf(ackBytes, func(at int64) {
+		sys.finishOffload(job, at)
+	}))
+}
+
+// finishOffload resumes the requesting warp: write live-outs, invalidate
+// the dirty lines in the requester's L1 and the shared L2 (§4.4.2 step 3),
+// and skip execution past the region.
+func (sys *System) finishOffload(job *offloadJob, now int64) {
+	sw := job.srcWarp
+	sm := job.srcSM
+	for r := range job.liveOut {
+		if job.cand.LiveOut&(1<<r) != 0 {
+			sw.w.Regs[r] = job.liveOut[r]
+		}
+	}
+	invalidateCost := int64(0)
+	if sys.cfg.Coherence && sys.cfg.Offload != OffloadIdeal {
+		for line := range job.dirty {
+			sm.l1.Invalidate(line)
+			sys.l2.invalidate(line)
+		}
+		sys.stats.CoherenceInvalidates += uint64(len(job.dirty))
+		invalidateCost = int64(len(job.dirty)+3) / 4
+	}
+	sys.pendingOffloads[job.dest]--
+	sw.w.SkipTo(job.cand.EndPC)
+	sw.regionActive = nil
+	sw.notReadyUntil = now + 1 + invalidateCost
+	sw.state = wsWaitDep
+	sm.reconsider(sw, now)
+}
+
+// destStack finds the memory stack the candidate's first global-memory
+// access (leader lane) would touch, by a side-effect-free scalar dry run
+// from the candidate entry (§4.2 footnote 4: the pipeline executes up to
+// the first memory instruction to discover the destination).
+func (sys *System) destStack(sw *smWarp, cand *compiler.Candidate) int {
+	lane := sw.w.LeaderLane()
+	if lane < 0 {
+		return -1
+	}
+	k := sw.w.Kernel
+	var regs [isa.MaxRegs]uint64
+	for r := 0; r < k.NumRegs; r++ {
+		regs[r] = sw.w.Regs[r][lane]
+	}
+	eval := func(o isa.Operand) uint64 {
+		switch o.Kind {
+		case isa.OpdReg:
+			return regs[o.Reg]
+		case isa.OpdImm:
+			return uint64(o.Imm)
+		case isa.OpdSpecial:
+			return sw.w.SpecialValue(o.Sp, lane)
+		}
+		return 0
+	}
+	pc := cand.StartPC
+	for steps := 0; steps < 512 && pc < cand.EndPC && pc >= cand.StartPC; steps++ {
+		in := k.Instrs[pc]
+		switch in.Op {
+		case isa.OpLdGlobal, isa.OpStGlobal:
+			addr := eval(in.A) + uint64(in.Imm)
+			return sys.stackOf(addr &^ uint64(sys.cfg.LineBytes-1))
+		case isa.OpBra:
+			taken := in.A.Kind == isa.OpdNone
+			if !taken {
+				p := eval(in.A) != 0
+				if in.PredNeg {
+					p = !p
+				}
+				taken = p
+			}
+			if taken {
+				pc = in.Target
+			} else {
+				pc++
+			}
+		case isa.OpSetp:
+			v := compareScalarInt(in.Cmp, int64(eval(in.A)), int64(eval(in.B)))
+			regs[in.Dst] = boolTo64(v)
+			pc++
+		case isa.OpFSetp:
+			v := compareScalarFloat(in.Cmp, isa.F32FromBits(eval(in.A)), isa.F32FromBits(eval(in.B)))
+			regs[in.Dst] = boolTo64(v)
+			pc++
+		case isa.OpExit, isa.OpBar, isa.OpLdShared, isa.OpStShared, isa.OpAtomAdd:
+			return -1 // cannot occur in a legal candidate; bail out
+		default:
+			if in.HasDst {
+				regs[in.Dst] = exec.ALUOp(in.Op, eval(in.A), eval(in.B), eval(in.C))
+			}
+			pc++
+		}
+	}
+	return -1
+}
+
+func boolTo64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func compareScalarInt(c isa.Cmp, a, b int64) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func compareScalarFloat(c isa.Cmp, a, b float32) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	default:
+		return a >= b
+	}
+}

@@ -1,0 +1,625 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/compiler"
+	"repro/internal/exec"
+	"repro/internal/isa"
+)
+
+// memPort is where an SM's LSU submits line transactions: the GPU's shared
+// L2 for main SMs, the stack's crossbar router for logic-layer SMs.
+type memPort interface {
+	accept(now int64, t *txn) bool
+}
+
+// SM models one streaming multiprocessor: warp slots, a greedy-then-oldest
+// scheduler issuing one warp-instruction per cycle, a stall-on-use
+// scoreboard at register granularity, a coalescing LSU with MSHRs, and a
+// write-through L1. The same structure serves main-GPU SMs and logic-layer
+// (memory stack) SMs; the latter receive offload jobs instead of CTAs.
+type SM struct {
+	id      int
+	isStack bool
+	stackID int
+	sys     *System
+	cfg     *Config
+	l1      *cache.Cache
+	port    memPort
+
+	warps []*smWarp // fixed slots (nil = free)
+	ready bitset
+	cur   int // GTO: last issued slot
+
+	lsu  []*txn
+	mshr map[uint64][]loadWaiter
+
+	ctas   []*ctaCtx // active CTAs (main SMs)
+	spawnQ []*offloadJob
+
+	freeSlots  int
+	issueWidth int
+
+	// evRing is a per-SM timer ring for short fixed delays (ALU pipeline
+	// occupancy, L1-hit load returns). It avoids per-instruction closure
+	// allocation on the global wheel; slot slices are reused.
+	evRing [ringSlots][]smEvent
+}
+
+// ringSlots must exceed every latency scheduled on the ring.
+const ringSlots = 64
+
+// smEvent is a ring entry: reg >= 0 clears a pending register; reg < 0
+// reconsiders the warp's readiness.
+type smEvent struct {
+	sw  *smWarp
+	reg int8
+}
+
+type loadWaiter struct {
+	sw  *smWarp
+	reg isa.Reg
+}
+
+// smWarp is the scheduling wrapper around an architectural warp.
+type smWarp struct {
+	sm   *SM
+	slot int
+	w    *exec.Warp
+	cta  *ctaCtx
+	md   *compiler.Metadata
+
+	state         wstate
+	pendingRegs   uint64
+	regCount      [isa.MaxRegs]uint16
+	pendingStores int
+	notReadyUntil int64
+
+	// Region bookkeeping on main SMs: the candidate currently being
+	// executed inline (suppresses re-deciding at the loop header), and
+	// the pending offload awaiting store drain.
+	regionActive *compiler.Candidate
+	drainCand    *compiler.Candidate
+	drainDest    int
+
+	// Learning-phase collection.
+	collect *collectState
+
+	// Stack-SM side: the offload job this warp serves.
+	job *offloadJob
+}
+
+type ctaCtx struct {
+	id          int
+	lc          *launchCtx
+	shared      []uint32
+	activeWarps int
+	atBarrier   int
+	warps       []*smWarp
+}
+
+type collectState struct {
+	cand  *compiler.Candidate
+	addrs []uint64     // lane addresses, first = home-defining
+	seq   []instAccess // leader (pc, addr) stream for Fig. 5
+}
+
+type instAccess struct {
+	pc   int
+	addr uint64
+}
+
+func newSM(sys *System, id int, isStack bool, stackID int, warpSlots int) *SM {
+	c := sys.cfg
+	width := c.IssueWidth
+	if isStack {
+		width = c.StackIssueWidth
+	}
+	if width < 1 {
+		width = 1
+	}
+	return &SM{
+		id: id, isStack: isStack, stackID: stackID, sys: sys, cfg: &sys.cfg,
+		l1:         cache.New(c.L1Bytes, c.L1Ways, c.LineBytes),
+		warps:      make([]*smWarp, warpSlots),
+		ready:      newBitset(maxInt(warpSlots, 64)),
+		mshr:       make(map[uint64][]loadWaiter),
+		freeSlots:  warpSlots,
+		issueWidth: width,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (sm *SM) setReady(sw *smWarp) {
+	sw.state = wsReady
+	sm.ready.set(sw.slot)
+}
+
+func (sm *SM) unready(sw *smWarp, st wstate) {
+	sw.state = st
+	sm.ready.clear(sw.slot)
+}
+
+// reconsider re-evaluates whether a waiting warp can issue (called when a
+// register clears, a store acks, or a scheduled wakeup fires). Idempotent;
+// duplicate wakeups are harmless.
+func (sm *SM) reconsider(sw *smWarp, now int64) {
+	if sw.state != wsWaitDep {
+		return
+	}
+	if now < sw.notReadyUntil {
+		d := sw.notReadyUntil - now
+		if d < ringSlots {
+			sm.ringAfter(d, now, smEvent{sw: sw, reg: -1})
+		} else {
+			sm.sys.wheel.after(d, func(at int64) { sm.reconsider(sw, at) })
+		}
+		return
+	}
+	if !sw.w.Done() {
+		in := sw.w.NextInstr()
+		if (in.SrcRegs()|in.DstRegs())&sw.pendingRegs != 0 {
+			return // a later register clear will call us again
+		}
+	}
+	sm.setReady(sw)
+}
+
+// blockOnNext parks the warp until the next instruction's registers are
+// available and the pipeline latency has elapsed.
+func (sm *SM) blockOnNext(sw *smWarp, lat int64, now int64) {
+	sw.notReadyUntil = now + lat
+	sm.unready(sw, wsWaitDep)
+	sm.ringAfter(lat, now, smEvent{sw: sw, reg: -1})
+}
+
+// ringAfter schedules an event on the per-SM timer ring (lat < ringSlots).
+func (sm *SM) ringAfter(lat, now int64, ev smEvent) {
+	if lat >= ringSlots {
+		lat = ringSlots - 1
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	i := (now + lat) % ringSlots
+	sm.evRing[i] = append(sm.evRing[i], ev)
+}
+
+// ringTick fires due ring events.
+func (sm *SM) ringTick(now int64) {
+	i := now % ringSlots
+	due := sm.evRing[i]
+	if len(due) == 0 {
+		return
+	}
+	sm.evRing[i] = due[:0]
+	for _, ev := range due {
+		if ev.reg >= 0 {
+			sm.regClear(ev.sw, isa.Reg(ev.reg), now)
+		} else {
+			sm.reconsider(ev.sw, now)
+		}
+	}
+}
+
+// regClear is the load-return event for one line transaction feeding reg.
+func (sm *SM) regClear(sw *smWarp, reg isa.Reg, now int64) {
+	if sw.regCount[reg] > 0 {
+		sw.regCount[reg]--
+	}
+	if sw.regCount[reg] == 0 {
+		sw.pendingRegs &^= 1 << reg
+		sm.reconsider(sw, now)
+	}
+}
+
+// storeAck is the write-through acknowledgment event.
+func (sm *SM) storeAck(sw *smWarp, now int64) {
+	sw.pendingStores--
+	if sw.pendingStores > 0 {
+		return
+	}
+	switch sw.state {
+	case wsWaitDrain:
+		sm.drainComplete(sw, now)
+	}
+}
+
+// drainComplete fires when a warp waiting on store drain has zero pending
+// stores: barrier entry, offload launch, retirement, or offload-ack send.
+func (sm *SM) drainComplete(sw *smWarp, now int64) {
+	switch {
+	case sw.w == nil:
+		return
+	case sw.job != nil && sw.w.Done():
+		sm.sys.sendOffloadAck(sw, now)
+	case sw.w.Done():
+		sm.retire(sw, now)
+	case sw.drainCand != nil:
+		cand := sw.drainCand
+		sw.drainCand = nil
+		sm.sys.launchOffload(sm, sw, cand, sw.drainDest, now)
+	default:
+		// Barrier entry waited on drain; re-issue takes the Bar path.
+		sm.setReady(sw)
+	}
+}
+
+func (sm *SM) retire(sw *smWarp, now int64) {
+	sm.unready(sw, wsRetired)
+	sm.warps[sw.slot] = nil
+	sm.freeSlots++
+	if sw.job != nil {
+		return // stack warps have no CTA
+	}
+	cta := sw.cta
+	cta.activeWarps--
+	sm.checkBarrier(cta, now)
+	if cta.activeWarps == 0 {
+		sm.releaseCTA(cta)
+	}
+}
+
+func (sm *SM) releaseCTA(done *ctaCtx) {
+	for i, c := range sm.ctas {
+		if c == done {
+			sm.ctas = append(sm.ctas[:i], sm.ctas[i+1:]...)
+			break
+		}
+	}
+	done.lc.doneCTAs++
+}
+
+func (sm *SM) enterBarrier(sw *smWarp, now int64) {
+	sm.unready(sw, wsAtBarrier)
+	sw.cta.atBarrier++
+	sm.checkBarrier(sw.cta, now)
+}
+
+func (sm *SM) checkBarrier(cta *ctaCtx, now int64) {
+	if cta.atBarrier == 0 || cta.atBarrier < cta.activeWarps {
+		return
+	}
+	cta.atBarrier = 0
+	for _, sw := range cta.warps {
+		if sw.state == wsAtBarrier {
+			sw.state = wsWaitDep
+			sm.reconsider(sw, now)
+		}
+	}
+}
+
+// dispatchCTAs pulls at most one waiting CTA onto this SM; the system's
+// dispatch loop sweeps SMs round-robin so CTAs spread across the GPU the
+// way real hardware schedulers balance them.
+func (sm *SM) dispatchCTAs(lc *launchCtx) {
+	wpc := lc.l.WarpsPerCTA()
+	if len(sm.ctas) < sm.cfg.MaxCTAsPerSM && sm.freeSlots >= wpc && lc.nextCTA < lc.totalCTAs {
+		ctaID := lc.nextCTA
+		lc.nextCTA++
+		cta := &ctaCtx{
+			id: ctaID, lc: lc,
+			shared:      make([]uint32, (lc.l.Kernel.SharedBytes+3)/4),
+			activeWarps: wpc,
+		}
+		for wi := 0; wi < wpc; wi++ {
+			slot := sm.findFreeSlot()
+			w := exec.NewWarp(lc.l.Kernel, lc.md.Info, exec.WarpInfo{
+				CtaID: ctaID, WarpInCTA: wi, NTid: lc.l.Block, NCtaid: lc.l.Grid,
+			}, sm.sys.mem, cta.shared, lc.l.Params)
+			sw := &smWarp{sm: sm, slot: slot, w: w, cta: cta, md: lc.md}
+			cta.warps = append(cta.warps, sw)
+			sm.warps[slot] = sw
+			sm.freeSlots--
+			sm.setReady(sw)
+		}
+		sm.ctas = append(sm.ctas, cta)
+	}
+}
+
+func (sm *SM) findFreeSlot() int {
+	for i, w := range sm.warps {
+		if w == nil {
+			return i
+		}
+	}
+	// Ideal offloading may oversubscribe stack SMs: grow.
+	sm.warps = append(sm.warps, nil)
+	if len(sm.warps) > len(sm.ready.w)*64 {
+		sm.ready.w = append(sm.ready.w, 0)
+	}
+	return len(sm.warps) - 1
+}
+
+// pickWarp implements greedy-then-oldest.
+func (sm *SM) pickWarp() *smWarp {
+	if sm.cur < len(sm.warps) && sm.ready.get(sm.cur) {
+		return sm.warps[sm.cur]
+	}
+	i := sm.ready.first()
+	if i < 0 {
+		return nil
+	}
+	sm.cur = i
+	return sm.warps[i]
+}
+
+// tick advances the SM by one cycle.
+func (sm *SM) tick(now int64) {
+	sm.ringTick(now)
+	// 1. Drain LSU transactions into the memory system.
+	for i := 0; i < sm.issueWidth && len(sm.lsu) > 0; i++ {
+		if !sm.port.accept(now, sm.lsu[0]) {
+			break
+		}
+		n := copy(sm.lsu, sm.lsu[1:])
+		sm.lsu = sm.lsu[:n]
+		sm.retryLSUStalls(now)
+	}
+	// 2. Stack SMs spawn queued offload jobs into free warp slots.
+	if sm.isStack {
+		sm.trySpawn(now)
+	}
+	// 3. Issue warp-instructions.
+	for i := 0; i < sm.issueWidth; i++ {
+		sw := sm.pickWarp()
+		if sw == nil {
+			break
+		}
+		sm.issue(sw, now)
+	}
+}
+
+// retryLSUStalls re-readies warps that stalled on a full LSU queue.
+func (sm *SM) retryLSUStalls(now int64) {
+	if len(sm.lsu) >= sm.cfg.LSUQueue {
+		return
+	}
+	for _, sw := range sm.warps {
+		if sw != nil && sw.state == wsWaitLSU {
+			sm.setReady(sw)
+		}
+	}
+}
+
+// coalesceMax bounds the transactions one warp memory instruction can
+// produce (32 lanes, distinct lines).
+const coalesceMax = isa.WarpSize
+
+// issue executes one instruction of sw and charges its timing.
+func (sm *SM) issue(sw *smWarp, now int64) {
+	w := sw.w
+
+	// Retirement path: the warp finished on a previous step.
+	if w.Done() {
+		if sw.pendingStores > 0 {
+			sm.unready(sw, wsWaitDrain)
+			return
+		}
+		if sw.job != nil {
+			sm.sys.sendOffloadAck(sw, now)
+		} else {
+			sm.retire(sw, now)
+		}
+		return
+	}
+
+	pc := w.PC()
+
+	// Region tracking on main SMs: leaving an active region re-arms the
+	// offload decision and finalizes learning collection.
+	if sw.regionActive != nil && (pc < sw.regionActive.StartPC || pc >= sw.regionActive.EndPC) {
+		if sw.collect != nil {
+			sm.sys.finishCollection(sw)
+		}
+		sw.regionActive = nil
+	}
+
+	// Offload / learning hook at candidate region entries.
+	if !sm.isStack && sw.regionActive == nil && sw.md != nil {
+		if cand := sw.md.AtPC(pc); cand != nil {
+			sw.regionActive = cand
+			if sm.sys.handleCandidateEntry(sm, sw, cand, now) {
+				return // warp state changed (offloading)
+			}
+		}
+	}
+
+	in := w.NextInstr()
+
+	switch in.Op {
+	case isa.OpBar:
+		if sw.pendingStores > 0 {
+			sm.unready(sw, wsWaitDrain)
+			sm.sys.stats.StoreDrainStalls++
+			return
+		}
+		res := w.Step()
+		sm.countInstr(res)
+		sm.enterBarrier(sw, now)
+		return
+
+	case isa.OpLdGlobal, isa.OpStGlobal, isa.OpAtomAdd:
+		// The LSU may transiently overshoot by one warp's coalesced
+		// transactions; admission is gated on the pre-issue depth.
+		if len(sm.lsu) >= sm.cfg.LSUQueue ||
+			len(sm.mshr) >= sm.cfg.MSHRsPerSM {
+			sm.unready(sw, wsWaitLSU)
+			// MSHR-full wakeups ride on fills; LSU wakeups on drain.
+			if len(sm.mshr) >= sm.cfg.MSHRsPerSM {
+				sm.sys.wheel.after(8, func(at int64) {
+					if sw.state == wsWaitLSU {
+						sm.setReady(sw)
+					}
+				})
+			}
+			return
+		}
+		res := w.Step()
+		sm.countInstr(res)
+		if sw.collect != nil {
+			sm.sys.recordCollection(sw, res)
+		}
+		sm.issueMem(sw, res, now)
+		sm.blockOnNext(sw, 1, now)
+		return
+
+	case isa.OpLdShared, isa.OpStShared:
+		res := w.Step()
+		sm.countInstr(res)
+		sm.blockOnNext(sw, sm.cfg.SharedLat, now)
+		return
+
+	default:
+		res := w.Step()
+		sm.countInstr(res)
+		lat := sm.cfg.ALULat
+		switch {
+		case in.Op == isa.OpDiv || in.Op == isa.OpRem || in.Op == isa.OpFDiv:
+			lat = sm.cfg.DivLat
+		case in.Op.IsFloat():
+			lat = sm.cfg.FPLat
+		}
+		sm.blockOnNext(sw, lat, now)
+		return
+	}
+}
+
+func (sm *SM) countInstr(res exec.StepResult) {
+	st := &sm.sys.stats
+	st.WarpInstrs++
+	st.ThreadInstrs += uint64(res.ActiveLanes)
+	if sm.isStack {
+		st.StackThreadInstrs += uint64(res.ActiveLanes)
+	}
+}
+
+// issueMem coalesces the step's lane accesses into line transactions and
+// routes them through L1 / MSHRs / the memory port.
+func (sm *SM) issueMem(sw *smWarp, res exec.StepResult, now int64) {
+	lineMask := uint64(sm.cfg.LineBytes - 1)
+	type lineInfo struct {
+		line  uint64
+		lanes int
+	}
+	var lines [coalesceMax]lineInfo
+	n := 0
+	for _, a := range res.Accesses {
+		l := a.Addr &^ lineMask
+		found := false
+		for i := 0; i < n; i++ {
+			if lines[i].line == l {
+				lines[i].lanes++
+				found = true
+				break
+			}
+		}
+		if !found {
+			lines[n] = lineInfo{line: l, lanes: 1}
+			n++
+		}
+	}
+	isStore := res.Op.IsStore() || res.Op == isa.OpAtomAdd
+	if isStore {
+		sw.pendingStores += n
+		if sw.job != nil && sm.cfg.Coherence {
+			for i := 0; i < n; i++ {
+				sw.job.dirty[lines[i].line] = struct{}{}
+			}
+		}
+	}
+	reg := res.Dst
+	if res.Op.IsLoad() || res.Op == isa.OpAtomAdd {
+		sw.pendingRegs |= 1 << reg
+	}
+	for i := 0; i < n; i++ {
+		li := lines[i]
+		if isStore {
+			// Write-through, no-allocate: touch L1 LRU if present.
+			sm.l1.Lookup(li.line)
+			t := &txn{line: li.line, bytes: li.lanes * isa.WordBytes, store: true,
+				atom: res.Op == isa.OpAtomAdd}
+			t.onData = func(at int64) {
+				sm.sys.inflight--
+				sm.storeAck(sw, at)
+			}
+			sm.sys.inflight++
+			sm.lsu = append(sm.lsu, t)
+			if res.Op == isa.OpAtomAdd {
+				sw.regCount[reg]++
+				org := t.onData
+				t.onData = func(at int64) {
+					org(at)
+					sm.regClear(sw, reg, at)
+				}
+			}
+			continue
+		}
+		// Load path.
+		sw.regCount[reg]++
+		if waiters, outstanding := sm.mshr[li.line]; outstanding {
+			sm.mshr[li.line] = append(waiters, loadWaiter{sw: sw, reg: reg})
+			continue
+		}
+		if sm.l1.Lookup(li.line) {
+			sm.noteL1(true)
+			sm.ringAfter(sm.cfg.L1Lat, now, smEvent{sw: sw, reg: int8(reg)})
+			continue
+		}
+		sm.noteL1(false)
+		sm.mshr[li.line] = []loadWaiter{{sw: sw, reg: reg}}
+		line := li.line
+		t := &txn{line: line}
+		t.onData = func(at int64) {
+			sm.sys.inflight--
+			sm.fill(line, at)
+		}
+		sm.sys.inflight++
+		sm.lsu = append(sm.lsu, t)
+	}
+}
+
+func (sm *SM) noteL1(hit bool) {
+	st := &sm.sys.stats
+	switch {
+	case sm.isStack && hit:
+		st.StackL1Hits++
+	case sm.isStack:
+		st.StackL1Misses++
+	case hit:
+		st.L1Hits++
+	default:
+		st.L1Misses++
+	}
+}
+
+// fill delivers a returned line: L1 allocation plus waiter register clears.
+func (sm *SM) fill(line uint64, now int64) {
+	sm.l1.Fill(line)
+	waiters := sm.mshr[line]
+	delete(sm.mshr, line)
+	for _, wt := range waiters {
+		sm.regClear(wt.sw, wt.reg, now)
+	}
+	// MSHR space freed: wake MSHR-stalled warps.
+	sm.retryLSUStalls(now)
+}
+
+// busy reports whether the SM still has unfinished work.
+func (sm *SM) busy() bool {
+	if len(sm.lsu) > 0 || len(sm.mshr) > 0 || len(sm.spawnQ) > 0 || len(sm.ctas) > 0 {
+		return true
+	}
+	for _, sw := range sm.warps {
+		if sw != nil {
+			return true
+		}
+	}
+	return false
+}

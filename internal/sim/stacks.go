@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"repro/internal/dram"
+	"repro/internal/link"
+	"repro/internal/mapping"
+)
+
+func packetOf(bytes int, deliver func(now int64)) link.Packet {
+	return link.Packet{Bytes: bytes, Deliver: deliver}
+}
+
+// stackNode is one 3D memory stack: a crossbar in front of 16 FR-FCFS
+// vaults, plus one or more logic-layer SMs (Table 1 uses one; the paper's
+// architecture permits more).
+type stackNode struct {
+	id     int
+	sys    *System
+	vaults []*dram.Vault
+	sms    []*SM
+	nextSM int // round-robin spawn target
+}
+
+// spawnTarget picks the logic-layer SM with the most free warp slots
+// (ties broken round-robin).
+func (s *stackNode) spawnTarget() *SM {
+	best := s.sms[s.nextSM%len(s.sms)]
+	for _, sm := range s.sms {
+		if sm.freeSlots > best.freeSlots {
+			best = sm
+		}
+	}
+	s.nextSM++
+	return best
+}
+
+func newStack(sys *System, id int) *stackNode {
+	s := &stackNode{id: id, sys: sys}
+	t := dram.DefaultTiming()
+	t.BytesPerCycle = sys.cfg.VaultBW * sys.cfg.InternalBWRatio
+	for v := 0; v < sys.cfg.VaultsPerStack; v++ {
+		s.vaults = append(s.vaults, dram.NewVault(t))
+	}
+	return s
+}
+
+// serveLine routes a request through the crossbar into its vault, retrying
+// while the vault queue is full, and calls done when the DRAM burst
+// completes.
+func (s *stackNode) serveLine(line uint64, storeBytes int, write bool, now int64, done func(int64)) {
+	v := s.vaults[mapping.VaultOf(line, len(s.vaults))]
+	bytes := s.sys.cfg.LineBytes
+	if write && storeBytes > 0 {
+		bytes = storeBytes
+	}
+	req := &dram.Request{Addr: line, Bytes: bytes, Write: write, Done: done}
+	var try func(int64)
+	try = func(at int64) {
+		if !v.Enqueue(req) {
+			s.sys.wheel.after(4, try)
+		}
+	}
+	s.sys.wheel.after(s.sys.cfg.XbarLat, try)
+}
+
+func (s *stackNode) tick(now int64) {
+	for _, v := range s.vaults {
+		if v.Active() {
+			v.Tick(now)
+		}
+	}
+	for _, sm := range s.sms {
+		sm.tick(now)
+	}
+}
+
+func (s *stackNode) active() bool {
+	for _, v := range s.vaults {
+		if v.Active() {
+			return true
+		}
+	}
+	return false
+}
+
+// stackPort is the logic-layer SM's memory port: local addresses hit the
+// stack's own vaults directly (internal TSV bandwidth, no off-chip link);
+// remote addresses cross the stack-to-stack links (§5: remote data access).
+type stackPort struct {
+	node *stackNode
+}
+
+// accept implements memPort.
+func (p *stackPort) accept(now int64, t *txn) bool {
+	sys := p.node.sys
+	home := sys.stackOf(t.line)
+	if sys.forceColocate() {
+		home = p.node.id
+	}
+	if home == p.node.id {
+		// Local: crossbar + vault only.
+		p.node.serveLine(t.line, t.bytes, t.store, now, func(done int64) {
+			sys.wheel.after(2, t.onData)
+		})
+		return true
+	}
+	// Remote: request over the cross-stack link, response back.
+	reqBytes := reqHeaderBytes
+	respBytes := sys.cfg.LineBytes + lineRespExtra
+	if t.store {
+		reqBytes += t.bytes
+		respBytes = storeAckBytes
+	}
+	from, to := p.node.id, home
+	sys.crossLinks[from][to].Send(packetOf(reqBytes, func(at int64) {
+		sys.stacks[to].serveLine(t.line, t.bytes, t.store, at, func(done int64) {
+			sys.crossLinks[to][from].Send(packetOf(respBytes, t.onData))
+		})
+	}))
+	return true
+}

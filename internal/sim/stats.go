@@ -1,0 +1,67 @@
+package sim
+
+// Stats aggregates everything the paper's figures report.
+type Stats struct {
+	Cycles int64
+	// ThreadInstrs counts per-lane instructions (warp-instruction ×
+	// active lanes), the numerator of IPC.
+	ThreadInstrs uint64
+	// WarpInstrs counts warp-instructions issued anywhere.
+	WarpInstrs uint64
+	// StackThreadInstrs counts the subset executed on memory-stack SMs.
+	StackThreadInstrs uint64
+
+	// --- Off-chip traffic (bytes) ---
+	GPUTXBytes    uint64 // GPU -> memory channels
+	GPURXBytes    uint64 // memory -> GPU channels
+	CrossBytes    uint64 // memory <-> memory channels
+	PCIeBytes     uint64 // learning phase (CPU memory)
+	InternalBytes uint64 // vault TSV traffic (not off-chip)
+
+	// --- Offloading ---
+	CandidateInstances   uint64 // candidate region entries seen on main SMs
+	OffloadsSent         uint64
+	OffloadsSkippedBusy  uint64 // channel-busy gate
+	OffloadsSkippedFull  uint64 // pending-per-stack gate
+	OffloadsSkippedCond  uint64 // conditional threshold not met
+	OffloadsSkippedALU   uint64 // ALU-ratio gate (extension)
+	CoherenceInvalidates uint64 // dirty lines invalidated at the GPU
+	StoreDrainStalls     uint64
+
+	// --- Caches & DRAM ---
+	L1Hits, L1Misses           uint64
+	L2Hits, L2Misses           uint64
+	StackL1Hits, StackL1Misses uint64
+	DRAMActivations            uint64
+	DRAMRowHits                uint64
+	DRAMReads, DRAMWrites      uint64
+
+	// --- Learning phase (tmap) ---
+	LearnCycles    int64
+	LearnedBit     int
+	CopiedBytes    uint64
+	LearnInstances int
+}
+
+// IPC returns thread-instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.ThreadInstrs) / float64(s.Cycles)
+}
+
+// OffChipBytes sums all off-chip memory traffic (the Fig. 9 metric:
+// GPU↔memory plus memory↔memory channels).
+func (s *Stats) OffChipBytes() uint64 {
+	return s.GPUTXBytes + s.GPURXBytes + s.CrossBytes
+}
+
+// OffloadedInstrFraction returns the share of thread instructions executed
+// on memory-stack SMs (the §6.1 46.4%/15.7% statistic).
+func (s *Stats) OffloadedInstrFraction() float64 {
+	if s.ThreadInstrs == 0 {
+		return 0
+	}
+	return float64(s.StackThreadInstrs) / float64(s.ThreadInstrs)
+}

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/exec"
+	"repro/internal/isa"
+	"repro/internal/link"
+	"repro/internal/mapping"
+	"repro/internal/mem"
+)
+
+// launchCtx tracks one kernel launch's CTA dispatch.
+type launchCtx struct {
+	l         exec.Launch
+	md        *compiler.Metadata
+	nextCTA   int
+	doneCTAs  int
+	totalCTAs int
+}
+
+// System is the whole NDP GPU: main SMs + shared L2, four memory stacks
+// with logic-layer SMs, all links, the offload controller state, and the
+// programmer-transparent data-mapping machinery.
+type System struct {
+	cfg   Config
+	mem   *mem.Flat
+	alloc *mem.AllocTable
+	wheel *wheel
+	stats Stats
+
+	sms    []*SM // main GPU SMs
+	l2     *l2sys
+	l2mshr map[uint64]*l2entry
+	stacks []*stackNode
+
+	txLinks, rxLinks []*link.Link   // GPU->stack / stack->GPU
+	crossLinks       [][]*link.Link // [from][to]
+	pcieTX, pcieRX   *link.Link
+
+	pendingOffloads []int
+
+	// Data mapping state.
+	offloadBit int // -1 until a learned/forced bit is active
+	analyzer   *mapping.Analyzer
+	learning   bool
+	learnSeen  int
+	learnGoal  int
+
+	now           int64
+	inflight      int
+	frozenUntil   int64
+	learnDeadline int64
+
+	mdCache map[*isa.Kernel]*compiler.Metadata
+	trace   func(now int64)
+}
+
+// New builds a system over the given memory and allocation table.
+func New(cfg Config, m *mem.Flat, alloc *mem.AllocTable) *System {
+	sys := &System{
+		cfg: cfg, mem: m, alloc: alloc,
+		wheel:      newWheel(),
+		l2mshr:     make(map[uint64]*l2entry),
+		offloadBit: -1,
+		mdCache:    make(map[*isa.Kernel]*compiler.Metadata),
+	}
+	sys.l2 = newL2(sys)
+	for i := 0; i < cfg.MainSMs; i++ {
+		sm := newSM(sys, i, false, -1, cfg.WarpsPerSM)
+		sm.port = sys.l2
+		sys.sms = append(sys.sms, sm)
+	}
+	for s := 0; s < cfg.Stacks; s++ {
+		st := newStack(sys, s)
+		for i := 0; i < cfg.StackSMs; i++ {
+			sm := newSM(sys, cfg.MainSMs+s*cfg.StackSMs+i, true, s, cfg.StackWarps())
+			sm.port = &stackPort{node: st}
+			st.sms = append(st.sms, sm)
+		}
+		sys.stacks = append(sys.stacks, st)
+		sys.txLinks = append(sys.txLinks,
+			link.New(fmt.Sprintf("tx%d", s), cfg.GPUStackBW, cfg.LinkLat))
+		sys.rxLinks = append(sys.rxLinks,
+			link.New(fmt.Sprintf("rx%d", s), cfg.GPUStackBW, cfg.LinkLat))
+	}
+	sys.crossLinks = make([][]*link.Link, cfg.Stacks)
+	for a := 0; a < cfg.Stacks; a++ {
+		sys.crossLinks[a] = make([]*link.Link, cfg.Stacks)
+		for b := 0; b < cfg.Stacks; b++ {
+			if a != b {
+				sys.crossLinks[a][b] =
+					link.New(fmt.Sprintf("x%d-%d", a, b), cfg.CrossStackBW, cfg.CrossLat)
+			}
+		}
+	}
+	sys.pcieTX = link.New("pcieTX", cfg.PCIeBW, cfg.PCIeLat/2)
+	sys.pcieRX = link.New("pcieRX", cfg.PCIeBW, cfg.PCIeLat/2)
+	sys.pendingOffloads = make([]int, cfg.Stacks)
+	sys.analyzer = mapping.NewAnalyzer(cfg.Stacks, alloc)
+
+	switch cfg.Mapping {
+	case MapTransparent:
+		sys.learning = cfg.Offload != OffloadOff
+		sys.learnDeadline = cfg.LearnDeadline
+	case MapOracle, MapFixedBit:
+		// Caller pre-flags ranges (ApplyOracleMapping / ApplyFixedMapping).
+	}
+	return sys
+}
+
+// Stats returns the accumulated statistics (finalized after each Run).
+func (sys *System) Stats() *Stats { return &sys.stats }
+
+// Analyzer exposes the memory-map analyzer (for experiment harnesses).
+func (sys *System) Analyzer() *mapping.Analyzer { return sys.analyzer }
+
+// ApplyMappingBit pre-activates a consecutive-bit mapping for all ranges
+// flagged CandidateTouched in the allocation table (oracle/fixed-bit runs
+// skip the learning phase — the mapping is in force from cycle 0).
+func (sys *System) ApplyMappingBit(bit int) {
+	sys.offloadBit = bit
+	sys.stats.LearnedBit = bit
+	for i := range sys.alloc.Ranges {
+		if sys.alloc.Ranges[i].CandidateTouched {
+			sys.alloc.Ranges[i].OffloadMapped = true
+		}
+	}
+}
+
+// stackOf maps a line address to its memory stack under the currently
+// active policy (baseline XOR interleave, overridden per-range by the
+// learned consecutive-bit mapping once tmap's copy has happened).
+func (sys *System) stackOf(addr uint64) int {
+	if sys.offloadBit >= 0 {
+		if r := sys.alloc.Find(addr); r != nil && r.OffloadMapped {
+			return int((addr >> uint(sys.offloadBit)) & uint64(sys.cfg.Stacks-1))
+		}
+	}
+	line := addr >> mapping.LineShift
+	return int((line ^ (line >> 6) ^ (line >> 11)) & uint64(sys.cfg.Stacks-1))
+}
+
+func (sys *System) forceColocate() bool { return sys.cfg.Offload == OffloadIdeal }
+
+// metadata compiles (and caches) the offload metadata for a kernel.
+func (sys *System) metadata(k *isa.Kernel) (*compiler.Metadata, error) {
+	if md, ok := sys.mdCache[k]; ok {
+		return md, nil
+	}
+	md, err := compiler.Analyze(k, compiler.DefaultCostParams())
+	if err != nil {
+		return nil, err
+	}
+	sys.mdCache[k] = md
+	return md, nil
+}
+
+// --- Learning phase (programmer-transparent data mapping, §4.3) ---
+
+// learnWindow bounds how many warp memory instructions the analyzer
+// observes per candidate instance: the hardware tracks 40 bits per
+// instance (§6.6), so its observation window is inherently small. Bounding
+// it also keeps the learning prefix short at reduced workload scale.
+const learnWindow = 8
+
+func (sys *System) recordCollection(sw *smWarp, res exec.StepResult) {
+	c := sw.collect
+	for _, a := range res.Accesses {
+		c.addrs = append(c.addrs, a.Addr)
+	}
+	if len(res.Accesses) > 0 {
+		c.seq = append(c.seq, instAccess{pc: res.PC, addr: res.Accesses[0].Addr})
+	}
+	if len(c.seq) >= learnWindow {
+		sys.finishCollection(sw)
+	}
+}
+
+func (sys *System) finishCollection(sw *smWarp) {
+	c := sw.collect
+	sw.collect = nil
+	if len(c.addrs) == 0 {
+		return
+	}
+	sys.analyzer.ObserveInstance(c.addrs)
+	sys.learnSeen++
+	if sys.learning && sys.learnGoal > 0 && sys.learnSeen >= sys.learnGoal {
+		sys.endLearning()
+	}
+}
+
+// endLearning closes the learning phase: pick the best mapping, flag the
+// candidate-touched ranges, and perform the delayed host→device copy
+// (§4.3 steps 4-5). The copy itself is not extra work versus the baseline
+// flow (it merely happened later), so only the interrupt/drain pause is
+// charged; all caches are invalidated because data physically moved.
+func (sys *System) endLearning() {
+	sys.learning = false
+	sys.stats.LearnInstances = sys.learnSeen
+	sys.stats.LearnCycles = sys.now
+	if sys.learnSeen == 0 {
+		// Nothing observed before the watchdog fired: keep the baseline
+		// mapping for everything.
+		sys.stats.LearnedBit = -1
+		return
+	}
+	bit := sys.analyzer.BestBit()
+	sys.offloadBit = bit
+	sys.stats.LearnedBit = bit
+	for i := range sys.alloc.Ranges {
+		if sys.alloc.Ranges[i].CandidateTouched {
+			sys.alloc.Ranges[i].OffloadMapped = true
+			sys.stats.CopiedBytes += sys.alloc.Ranges[i].Size
+		}
+	}
+	for _, sm := range sys.sms {
+		sm.l1.InvalidateAll()
+	}
+	for _, st := range sys.stacks {
+		for _, sm := range st.sms {
+			sm.l1.InvalidateAll()
+		}
+	}
+	sys.l2.invalidateAll()
+	sys.frozenUntil = sys.now + 1000 // GPU runtime interrupt + pipeline drain
+}
+
+// learnCTACap bounds concurrently resident CTAs while the learning phase
+// is active: the GPU runtime throttles dispatch so the (slow, CPU-memory-
+// backed) learning prefix stays a small fraction of the run, mirroring the
+// paper's 0.1%-of-instances budget at our reduced workload scales.
+const learnCTACap = 48
+
+// activeCTAs counts CTAs currently resident on main SMs.
+func (sys *System) activeCTAs() int {
+	n := 0
+	for _, sm := range sys.sms {
+		n += len(sm.ctas)
+	}
+	return n
+}
+
+// --- Run loop ---
+
+// Run executes the launches in order and finalizes stats. The same System
+// must not be reused across Run calls.
+func (sys *System) Run(launches []exec.Launch) error {
+	return sys.RunWithTrace(launches, nil)
+}
+
+// RunWithTrace is Run with a per-cycle observation hook (diagnostics).
+func (sys *System) RunWithTrace(launches []exec.Launch, trace func(now int64)) error {
+	sys.trace = trace
+	// Estimate the learning goal: LearnFrac of expected candidate
+	// instances across the run (§3.2.2 observes ~0.1%).
+	if sys.learning {
+		est := 0
+		for _, l := range launches {
+			md, err := sys.metadata(l.Kernel)
+			if err != nil {
+				return err
+			}
+			est += l.Grid * l.WarpsPerCTA() * len(md.Candidates)
+		}
+		goal := int(float64(est) * sys.cfg.LearnFrac)
+		if goal < sys.cfg.LearnMin {
+			goal = sys.cfg.LearnMin
+		}
+		sys.learnGoal = goal
+		if est == 0 {
+			sys.learning = false // nothing to learn from
+		}
+	}
+	for i, l := range launches {
+		if err := sys.runLaunch(l); err != nil {
+			sys.finalizeStats()
+			return fmt.Errorf("sim: launch %d (%s): %w", i, l.Kernel.Name, err)
+		}
+	}
+	// A learning phase that never hit its goal ends with the workload.
+	if sys.learning {
+		sys.endLearning()
+	}
+	sys.finalizeStats()
+	return nil
+}
+
+func (sys *System) runLaunch(l exec.Launch) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	md, err := sys.metadata(l.Kernel)
+	if err != nil {
+		return err
+	}
+	lc := &launchCtx{l: l, md: md, totalCTAs: l.Grid}
+
+	quietCheck := int64(0)
+	for {
+		now := sys.now
+		if sys.trace != nil {
+			sys.trace(now)
+		}
+		// Learning watchdog: close the phase at the deadline with
+		// whatever has been observed; with nothing observed, give up on
+		// the learned mapping entirely (tmap degrades to bmap).
+		if sys.learning && sys.cfg.LearnDeadline > 0 && now >= sys.learnDeadline {
+			sys.endLearning()
+		}
+		sys.wheel.tick(now)
+		frozen := now < sys.frozenUntil
+		if !frozen {
+			if lc.nextCTA < lc.totalCTAs && (!sys.learning || sys.activeCTAs() < learnCTACap) {
+				for _, sm := range sys.sms {
+					if lc.nextCTA >= lc.totalCTAs {
+						break
+					}
+					sm.dispatchCTAs(lc)
+					if sys.learning && sys.activeCTAs() >= learnCTACap {
+						break
+					}
+				}
+			}
+			for _, sm := range sys.sms {
+				sm.tick(now)
+			}
+			for _, st := range sys.stacks {
+				st.tick(now)
+			}
+		}
+		sys.l2.tick(now)
+		for s := 0; s < sys.cfg.Stacks; s++ {
+			sys.txLinks[s].Tick(now)
+			sys.rxLinks[s].Tick(now)
+			for t := 0; t < sys.cfg.Stacks; t++ {
+				if s != t {
+					sys.crossLinks[s][t].Tick(now)
+				}
+			}
+		}
+		sys.pcieTX.Tick(now)
+		sys.pcieRX.Tick(now)
+		sys.now++
+
+		if sys.cfg.MaxCycles > 0 && sys.now > sys.cfg.MaxCycles {
+			return fmt.Errorf("exceeded MaxCycles=%d", sys.cfg.MaxCycles)
+		}
+		// Quiescence check (amortized).
+		if lc.doneCTAs == lc.totalCTAs && sys.now > quietCheck {
+			quietCheck = sys.now + 64
+			if sys.quiet() {
+				return nil
+			}
+		}
+	}
+}
+
+func (sys *System) quiet() bool {
+	if sys.inflight != 0 || sys.wheel.pending() != 0 || len(sys.l2mshr) != 0 {
+		return false
+	}
+	for _, p := range sys.pendingOffloads {
+		if p != 0 {
+			return false
+		}
+	}
+	for _, sm := range sys.sms {
+		if sm.busy() {
+			return false
+		}
+	}
+	for _, st := range sys.stacks {
+		if st.active() {
+			return false
+		}
+		for _, sm := range st.sms {
+			if sm.busy() {
+				return false
+			}
+		}
+	}
+	if sys.l2.active() {
+		return false
+	}
+	for s := 0; s < sys.cfg.Stacks; s++ {
+		if sys.txLinks[s].Active() || sys.rxLinks[s].Active() {
+			return false
+		}
+		for t := 0; t < sys.cfg.Stacks; t++ {
+			if s != t && sys.crossLinks[s][t].Active() {
+				return false
+			}
+		}
+	}
+	return !sys.pcieTX.Active() && !sys.pcieRX.Active()
+}
+
+func (sys *System) finalizeStats() {
+	st := &sys.stats
+	st.Cycles = sys.now
+	for s := 0; s < sys.cfg.Stacks; s++ {
+		st.GPUTXBytes += sys.txLinks[s].BytesSent
+		st.GPURXBytes += sys.rxLinks[s].BytesSent
+		for t := 0; t < sys.cfg.Stacks; t++ {
+			if s != t {
+				st.CrossBytes += sys.crossLinks[s][t].BytesSent
+			}
+		}
+	}
+	st.PCIeBytes = sys.pcieTX.BytesSent + sys.pcieRX.BytesSent
+	for _, stk := range sys.stacks {
+		for _, v := range stk.vaults {
+			st.DRAMActivations += v.Activations
+			st.DRAMRowHits += v.RowHits
+			st.DRAMReads += v.Reads
+			st.DRAMWrites += v.Writes
+			st.InternalBytes += v.BytesMoved
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import "math/bits"
+
+// txn is one line-granularity memory transaction emitted by an SM's LSU
+// after coalescing: a load of a full cache line, or a write-through store
+// of the dirty bytes within one line.
+type txn struct {
+	line  uint64 // line-aligned byte address
+	bytes int    // store payload bytes (0 for loads)
+	store bool
+	atom  bool
+	// onData runs when the load data (or store ack) reaches the SM.
+	onData func(now int64)
+}
+
+// Packet size constants (bytes). The paper normalizes address/data/register
+// words to 4 B with acks a quarter of that; on the wire we add a 16 B
+// header per request/response, 128 B lines, and 4 B per live register lane.
+const (
+	reqHeaderBytes  = 16
+	lineRespExtra   = 16 // header on a data response
+	storeAckBytes   = 4
+	offloadHdrBytes = 32 // begin/end PC, active mask, warp ids
+	regLaneBytes    = 4
+	dirtyAddrBytes  = 8
+)
+
+// wstate is an smWarp's scheduling state.
+type wstate uint8
+
+const (
+	wsReady wstate = iota
+	wsWaitDep
+	wsWaitALU
+	wsWaitLSU
+	wsAtBarrier
+	wsWaitDrain   // waiting for store acks (barrier entry / offload / retire)
+	wsWaitOffload // region shipped to a memory stack; waiting for the ack
+	wsRetired
+)
+
+// bitset is a small dense bitset for warp readiness (stack SMs can hold
+// 4x48 = 192 warps in the §6.4 study).
+type bitset struct{ w []uint64 }
+
+func newBitset(n int) bitset { return bitset{w: make([]uint64, (n+63)/64)} }
+
+func (b *bitset) set(i int)      { b.w[i>>6] |= 1 << (i & 63) }
+func (b *bitset) clear(i int)    { b.w[i>>6] &^= 1 << (i & 63) }
+func (b *bitset) get(i int) bool { return b.w[i>>6]&(1<<(i&63)) != 0 }
+func (b *bitset) any() bool {
+	for _, x := range b.w {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// first returns the lowest set index, or -1.
+func (b *bitset) first() int {
+	for wi, x := range b.w {
+		if x != 0 {
+			return wi*64 + trailingZeros(x)
+		}
+	}
+	return -1
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,48 @@
+package sim
+
+// wheel is a fixed-horizon timer wheel for scheduling callbacks at future
+// cycles. All model delays are far below the horizon; exceeding it panics
+// (a model bug, not an input condition).
+type wheel struct {
+	slots [][]func(now int64)
+	now   int64
+	count int
+}
+
+const wheelHorizon = 1 << 13 // 8192 cycles covers every fixed delay used
+
+func newWheel() *wheel {
+	return &wheel{slots: make([][]func(int64), wheelHorizon)}
+}
+
+// after schedules fn to run at now+delay (delay >= 1).
+func (w *wheel) after(delay int64, fn func(now int64)) {
+	if delay < 1 {
+		delay = 1
+	}
+	if delay >= wheelHorizon {
+		panic("sim: wheel delay exceeds horizon")
+	}
+	i := (w.now + delay) % wheelHorizon
+	w.slots[i] = append(w.slots[i], fn)
+	w.count++
+}
+
+// tick runs callbacks due at cycle `now`. Must be called once per cycle
+// with monotonically increasing now.
+func (w *wheel) tick(now int64) {
+	w.now = now
+	i := now % wheelHorizon
+	due := w.slots[i]
+	if len(due) == 0 {
+		return
+	}
+	w.slots[i] = nil
+	w.count -= len(due)
+	for _, fn := range due {
+		fn(now)
+	}
+}
+
+// pending reports scheduled-but-unfired callbacks.
+func (w *wheel) pending() int { return w.count }

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWheelFiresAtExactCycle(t *testing.T) {
+	w := newWheel()
+	fired := map[int64]int64{}
+	now := int64(0)
+	schedule := func(delay int64) {
+		at := now + delay
+		w.after(delay, func(fireNow int64) { fired[at] = fireNow })
+	}
+	schedule(1)
+	schedule(5)
+	schedule(wheelHorizon - 1)
+	for ; now < wheelHorizon+10; now++ {
+		w.tick(now)
+	}
+	for at, got := range fired {
+		if got != at {
+			t.Errorf("event scheduled for %d fired at %d", at, got)
+		}
+	}
+	if len(fired) != 3 {
+		t.Errorf("fired %d events, want 3", len(fired))
+	}
+	if w.pending() != 0 {
+		t.Errorf("pending = %d after drain", w.pending())
+	}
+}
+
+func TestWheelZeroDelayClamped(t *testing.T) {
+	w := newWheel()
+	fired := int64(-1)
+	w.tick(0)
+	w.after(0, func(now int64) { fired = now })
+	for now := int64(1); now < 4; now++ {
+		w.tick(now)
+	}
+	if fired != 1 {
+		t.Errorf("zero delay fired at %d, want 1 (clamped)", fired)
+	}
+}
+
+func TestWheelHorizonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("exceeding the horizon should panic")
+		}
+	}()
+	newWheel().after(wheelHorizon, func(int64) {})
+}
+
+func TestWheelCascading(t *testing.T) {
+	// Events scheduled from within events must land on later cycles.
+	w := newWheel()
+	var order []int64
+	w.after(2, func(now int64) {
+		order = append(order, now)
+		w.after(3, func(now2 int64) { order = append(order, now2) })
+	})
+	for now := int64(0); now < 10; now++ {
+		w.tick(now)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 5 {
+		t.Errorf("cascade order = %v, want [2 5]", order)
+	}
+}
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(192)
+	if b.any() || b.first() != -1 {
+		t.Error("fresh bitset should be empty")
+	}
+	for _, i := range []int{0, 63, 64, 191} {
+		b.set(i)
+		if !b.get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if b.first() != 0 {
+		t.Errorf("first = %d, want 0", b.first())
+	}
+	b.clear(0)
+	if b.first() != 63 {
+		t.Errorf("first = %d, want 63", b.first())
+	}
+	b.clear(63)
+	b.clear(64)
+	b.clear(191)
+	if b.any() {
+		t.Error("bitset should be empty again")
+	}
+}
+
+func TestBitsetFirstIsMinimum(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b := newBitset(192)
+		min := -1
+		for _, r := range raw {
+			i := int(r) % 192
+			b.set(i)
+			if min < 0 || i < min {
+				min = i
+			}
+		}
+		if min < 0 {
+			return b.first() == -1
+		}
+		return b.first() == min
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+# embed_results.py — fold the experiment tables printed by the benchmark
+# harness (bench_output.txt) into EXPERIMENTS.md at the <!-- RESULTS -->
+# marker. Development helper; not part of the Go module.
+#
+#   python3 internal/tools/embed_results.py bench_output.txt EXPERIMENTS.md
+import re
+import sys
+
+
+def main() -> None:
+    bench, target = sys.argv[1], sys.argv[2]
+    text = open(bench).read()
+    blocks = []
+    cur = None
+    for line in text.splitlines():
+        if line.startswith("== "):
+            cur = [line]
+            blocks.append(cur)
+        elif cur is not None:
+            # Table body lines are indented or start with a label/note.
+            if line.strip() == "" or re.match(r"^(Benchmark|PASS|ok\s)", line):
+                cur = None
+            else:
+                cur.append(line)
+    seen = set()
+    rendered = []
+    for b in blocks:
+        key = b[0]
+        if key in seen:
+            continue
+        seen.add(key)
+        rendered.append("```text\n" + "\n".join(b) + "\n```\n")
+    doc = open(target).read()
+    out = doc.replace("<!-- RESULTS -->", "\n".join(rendered))
+    open(target, "w").write(out)
+    print(f"embedded {len(rendered)} tables into {target}")
+
+
+if __name__ == "__main__":
+    main()

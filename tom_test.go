@@ -1,0 +1,58 @@
+package tom
+
+import "testing"
+
+func TestPublicAPISurface(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 10 {
+		t.Fatalf("Workloads() = %d, want 10", len(ws))
+	}
+	if len(WorkloadAbbrs()) != 10 {
+		t.Fatalf("WorkloadAbbrs() wrong length")
+	}
+	if got := len(ExperimentIDs()); got != 13 {
+		t.Errorf("ExperimentIDs() = %d, want 13", got)
+	}
+	cfg := DefaultConfig()
+	if cfg.MainSMs != 64 || cfg.Stacks != 4 {
+		t.Errorf("DefaultConfig does not match Table 1: %+v", cfg)
+	}
+	base := BaselineConfig()
+	if base.MainSMs != 68 {
+		t.Errorf("BaselineConfig SMs = %d, want 68", base.MainSMs)
+	}
+}
+
+func TestRunAndSpeedupSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system simulation")
+	}
+	r := NewRunner(0.1)
+	base, err := r.Run("SP", Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndp, err := r.Run("SP", ControlledBmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Cycles == 0 || ndp.Stats.Cycles == 0 {
+		t.Fatal("no cycles simulated")
+	}
+	if ndp.Stats.OffloadsSent == 0 {
+		t.Error("NDP run should offload")
+	}
+}
+
+func TestAreaExperimentThroughFacade(t *testing.T) {
+	tab, err := Experiment("area", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "area" || len(tab.Rows) == 0 {
+		t.Errorf("unexpected table: %+v", tab)
+	}
+	if _, err := Experiment("nope", 0.1); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
