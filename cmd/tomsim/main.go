@@ -2,16 +2,25 @@
 // prints the measured statistics.
 //
 //	tomsim -workload LIB -config ctrl-tmap -scale 1.0
+//	tomsim -workload LIB -trace out.jsonl -metrics out.json
 //	tomsim -list
+//
+// -trace streams the offload lifecycle (candidate → gate/send → spawn →
+// ack → finish) as JSON lines; -metrics writes the end-of-run registry
+// snapshot — per-interval off-chip traffic, per-stack pending-offload
+// occupancy, link utilization, and queue depths. See docs/OBSERVABILITY.md
+// for both schemas.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	tom "repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -20,6 +29,9 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "problem-size scale factor")
 	compare := flag.Bool("compare", true, "also run the baseline and report speedup")
 	list := flag.Bool("list", false, "list workloads and configurations")
+	tracePath := flag.String("trace", "", "write offload-lifecycle events to this JSONL file")
+	metricsPath := flag.String("metrics", "", "write the metrics snapshot to this JSON file")
+	interval := flag.Int64("interval", 0, "metrics sampling interval in cycles (0 = default)")
 	flag.Parse()
 
 	if *list {
@@ -28,12 +40,7 @@ func main() {
 			fmt.Printf("  %-4s %s — %s\n", w.Abbr, w.Name, w.Desc)
 		}
 		fmt.Println("configurations:")
-		for _, c := range []core.ConfigName{
-			core.CfgBaseline, core.CfgIdeal, core.CfgNoCtrlBmap, core.CfgNoCtrlTmap,
-			core.CfgCtrlBmap, core.CfgCtrlTmap, core.CfgCtrlOracle, core.CfgWarp2x,
-			core.CfgWarp4x, core.CfgInternal1x, core.CfgCross0125, core.CfgCross025,
-			core.CfgCross100, core.CfgNoCoherence,
-		} {
+		for _, c := range core.AllConfigNames() {
 			fmt.Printf("  %s\n", c)
 		}
 		return
@@ -43,11 +50,46 @@ func main() {
 	r.Progress = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	res, err := r.Run(*workload, core.ConfigName(*config))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tomsim:", err)
-		os.Exit(1)
+
+	var observer *obs.Observer
+	var sink *obs.JSONLSink
+	var traceFile *os.File
+	if *tracePath != "" || *metricsPath != "" {
+		observer = obs.New()
+		observer.SampleEvery = *interval
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			traceFile = f
+			sink = obs.NewJSONLSink(f)
+			observer.Trace = sink
+		}
 	}
+
+	res, err := r.RunObserved(*workload, core.ConfigName(*config), observer)
+	if err != nil {
+		fatal(err)
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(fmt.Errorf("trace: %w", err))
+		}
+	}
+	if *metricsPath != "" {
+		data, err := json.MarshalIndent(observer.Registry.Snapshot(), "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metricsPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
 	s := &res.Stats
 	fmt.Printf("workload       %s\nconfig         %s\n", res.Abbr, res.Config)
 	fmt.Printf("cycles         %d\nIPC            %.2f\n", s.Cycles, s.IPC())
@@ -70,12 +112,16 @@ func main() {
 	if *compare && res.Config != tom.Baseline {
 		base, err := r.Run(*workload, tom.Baseline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tomsim: baseline:", err)
-			os.Exit(1)
+			fatal(fmt.Errorf("baseline: %w", err))
 		}
 		fmt.Printf("speedup        %.3fx over baseline (%d cycles)\n",
 			s.IPC()/base.Stats.IPC(), base.Stats.Cycles)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tomsim:", err)
+	os.Exit(1)
 }
 
 func hitPct(h, m uint64) float64 {

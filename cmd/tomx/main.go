@@ -1,11 +1,13 @@
 // Command tomx regenerates the paper's figures and tables.
 //
-//	tomx                       # all experiments at default scale
-//	tomx -exp fig8 -scale 0.5  # one experiment
-//	tomx -markdown             # emit EXPERIMENTS.md-style markdown
+//	tomx                                  # all experiments at default scale
+//	tomx -exp fig8 -scale 0.5             # one experiment
+//	tomx -exp fig9 -metrics fig9.json     # plus the time-resolved traffic export
+//	tomx -markdown                        # emit EXPERIMENTS.md-style markdown
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +21,13 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "problem-size scale factor")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
+	metrics := flag.String("metrics", "", "with -exp fig9: write per-interval off-chip traffic snapshots to this JSON file")
+	interval := flag.Int64("interval", 0, "metrics sampling interval in cycles (0 = default)")
 	flag.Parse()
+
+	if *metrics != "" && *exp != "fig9" {
+		fatal(fmt.Errorf("-metrics is the time-resolved Fig. 9 export; use it with -exp fig9"))
+	}
 
 	r := tom.NewRunner(*scale)
 	if !*quiet {
@@ -48,6 +56,23 @@ func main() {
 		} else {
 			fmt.Println(t)
 		}
+	}
+
+	if *metrics != "" {
+		// The totals above came from memoized runs; the timeline reruns the
+		// same configurations with observers to add the time axis.
+		snaps, err := r.Fig9Timeline(*interval)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := json.MarshalIndent(snaps, "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*metrics, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote per-interval traffic for %d runs to %s\n", len(snaps), *metrics)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/exec"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -40,6 +41,18 @@ const (
 	// 4x stack warp capacity, versus plain 4x (CfgWarp4x).
 	CfgWarp4xALU ConfigName = "ctrl-tmap-w4-alu"
 )
+
+// AllConfigNames lists every declared configuration in evaluation order.
+// FullMatrix, cmd/tomsim -list, and the registry test all derive from this
+// single list, so adding a configuration here is sufficient to warm it,
+// list it, and cover it.
+func AllConfigNames() []ConfigName {
+	return []ConfigName{
+		CfgBaseline, CfgIdeal, CfgNoCtrlBmap, CfgNoCtrlTmap, CfgCtrlBmap,
+		CfgCtrlTmap, CfgCtrlOracle, CfgWarp2x, CfgWarp4x, CfgInternal1x,
+		CfgCross0125, CfgCross025, CfgCross100, CfgNoCoherence, CfgWarp4xALU,
+	}
+}
 
 // buildConfig materializes a named configuration.
 func buildConfig(name ConfigName) (sim.Config, error) {
@@ -240,7 +253,7 @@ func (r *Runner) Run(abbr string, name ConfigName) (*RunResult, error) {
 		if ok {
 			return nil
 		}
-		res, err := r.runUncached(abbr, name)
+		res, err := r.runUncached(abbr, name, nil)
 		if err != nil {
 			return err
 		}
@@ -260,7 +273,19 @@ func (r *Runner) Run(abbr string, name ConfigName) (*RunResult, error) {
 	return r.runs[key], nil
 }
 
-func (r *Runner) runUncached(abbr string, name ConfigName) (*RunResult, error) {
+// RunObserved executes one workload × configuration with the observer
+// attached, collecting per-interval metrics and (when the observer carries
+// a trace sink) lifecycle events. Results are verified like Run's but are
+// never memoized: each caller wants its own time series, and the stats are
+// identical to the cached run's anyway (observation is timing-free).
+func (r *Runner) RunObserved(abbr string, name ConfigName, o *obs.Observer) (*RunResult, error) {
+	if o == nil {
+		return r.Run(abbr, name)
+	}
+	return r.runUncached(abbr, name, o)
+}
+
+func (r *Runner) runUncached(abbr string, name ConfigName, o *obs.Observer) (*RunResult, error) {
 	in, err := r.instance(abbr)
 	if err != nil {
 		return nil, err
@@ -269,6 +294,7 @@ func (r *Runner) runUncached(abbr string, name ConfigName) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Observer = o
 	var prof *sim.Profile
 	if cfg.Mapping == sim.MapOracle {
 		// Run the profile first: it flags candidate-touched ranges on

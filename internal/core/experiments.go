@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/area"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 )
 
 // speedupRow computes per-workload IPC ratios of cfg over base.
@@ -209,6 +210,30 @@ func (r *Runner) Fig9() (*Table, error) {
 		)
 	}
 	return t, nil
+}
+
+// Fig9Timeline reruns the Fig. 9 configurations (plus the baseline) with
+// observers attached and returns per-interval metric snapshots — the
+// off-chip traffic breakdown over time rather than as end-of-run totals —
+// keyed "ABBR/config". interval is the sampling period in cycles (0 =
+// obs.DefaultSampleEvery).
+func (r *Runner) Fig9Timeline(interval int64) (map[string]*obs.Snapshot, error) {
+	configs := []ConfigName{CfgBaseline}
+	for _, fc := range fig8Configs {
+		configs = append(configs, fc.cfg)
+	}
+	out := map[string]*obs.Snapshot{}
+	for _, cfg := range configs {
+		for _, abbr := range Abbrs() {
+			o := obs.New()
+			o.SampleEvery = interval
+			if _, err := r.RunObserved(abbr, cfg, o); err != nil {
+				return nil, err
+			}
+			out[abbr+"/"+string(cfg)] = o.Registry.Snapshot()
+		}
+	}
+	return out, nil
 }
 
 // Fig10 reproduces the energy comparison (normalized to baseline total).

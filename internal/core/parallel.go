@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -39,7 +41,8 @@ type Pair struct {
 
 // Warm executes the given runs in parallel (bounded by GOMAXPROCS),
 // populating the memo cache so subsequent Run calls return instantly.
-// The first error (if any) is returned after all workers stop.
+// Every failing (workload, configuration) pair is reported: the returned
+// error joins one wrapped error per failure.
 func (r *Runner) Warm(pairs []Pair) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(pairs) {
@@ -51,7 +54,7 @@ func (r *Runner) Warm(pairs []Pair) error {
 	ch := make(chan Pair)
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
-	var firstErr error
+	errs := make(map[Pair]error)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -59,9 +62,7 @@ func (r *Runner) Warm(pairs []Pair) error {
 			for p := range ch {
 				if _, err := r.Run(p.Abbr, p.Config); err != nil {
 					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
+					errs[p] = err
 					errMu.Unlock()
 				}
 			}
@@ -72,19 +73,24 @@ func (r *Runner) Warm(pairs []Pair) error {
 	}
 	close(ch)
 	wg.Wait()
-	return firstErr
+	if len(errs) == 0 {
+		return nil
+	}
+	// Report in submission order so the joined message is deterministic.
+	var joined []error
+	for _, p := range pairs {
+		if err, ok := errs[p]; ok {
+			joined = append(joined, fmt.Errorf("warm %s/%s: %w", p.Abbr, p.Config, err))
+		}
+	}
+	return errors.Join(joined...)
 }
 
 // FullMatrix lists every (workload, configuration) pair the complete
-// experiment suite needs.
+// experiment suite needs: all of AllConfigNames over all workloads.
 func FullMatrix() []Pair {
-	configs := []ConfigName{
-		CfgBaseline, CfgIdeal, CfgNoCtrlBmap, CfgNoCtrlTmap, CfgCtrlBmap,
-		CfgCtrlTmap, CfgCtrlOracle, CfgWarp2x, CfgWarp4x, CfgInternal1x,
-		CfgCross0125, CfgCross025, CfgCross100, CfgNoCoherence,
-	}
 	var pairs []Pair
-	for _, c := range configs {
+	for _, c := range AllConfigNames() {
 		for _, a := range Abbrs() {
 			pairs = append(pairs, Pair{Abbr: a, Config: c})
 		}

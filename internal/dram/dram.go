@@ -87,6 +87,31 @@ func (v *Vault) Enqueue(r *Request) bool {
 // Active reports whether the vault has pending work.
 func (v *Vault) Active() bool { return len(v.queue) > 0 || len(v.compl) > 0 }
 
+// Snapshot is a point-in-time view of a vault's counters and occupancy,
+// for the observability layer's periodic sampling.
+type Snapshot struct {
+	Activations uint64
+	RowHits     uint64
+	Reads       uint64
+	Writes      uint64
+	BytesMoved  uint64
+	Queued      int // waiting requests
+	InFlight    int // issued bursts not yet completed
+}
+
+// Snapshot captures the vault's current counters and occupancy.
+func (v *Vault) Snapshot() Snapshot {
+	return Snapshot{
+		Activations: v.Activations,
+		RowHits:     v.RowHits,
+		Reads:       v.Reads,
+		Writes:      v.Writes,
+		BytesMoved:  v.BytesMoved,
+		Queued:      len(v.queue),
+		InFlight:    len(v.compl),
+	}
+}
+
 // BankOf maps an address to its bank: an XOR fold of row-and-above address
 // bits. Using only bits at/above the row keeps every column of a row in one
 // bank (so row hits work), while the fold prevents any single external bit

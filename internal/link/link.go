@@ -92,6 +92,27 @@ func (l *Link) Tick(now int64) {
 // window) the link spent serializing.
 func (l *Link) Utilization() float64 { return l.busWindow.utilization() }
 
+// Snapshot is a point-in-time view of a link's counters, for the
+// observability layer's periodic sampling.
+type Snapshot struct {
+	BytesSent   uint64
+	PacketsSent uint64
+	BusyCycles  uint64
+	Queued      int     // packets not yet fully serialized
+	Utilization float64 // sliding-window busy fraction
+}
+
+// Snapshot captures the link's current counters and occupancy.
+func (l *Link) Snapshot() Snapshot {
+	return Snapshot{
+		BytesSent:   l.BytesSent,
+		PacketsSent: l.PacketsSent,
+		BusyCycles:  l.BusyCycles,
+		Queued:      len(l.queue),
+		Utilization: l.Utilization(),
+	}
+}
+
 // Busy reports whether recent utilization exceeds threshold — the Channel
 // Busy Monitor's output (§3.3, §4.2 dynamic decision step 2).
 func (l *Link) Busy(threshold float64) bool { return l.Utilization() > threshold }

@@ -1,0 +1,95 @@
+// Package obs is the simulator's observability layer: a zero-dependency,
+// allocation-light metrics registry (counters, gauges, fixed-interval time
+// series) plus a structured event trace for the offload lifecycle.
+//
+// The cycle-level simulator only exposes end-of-run totals through
+// sim.Stats; obs adds the time axis. An Observer is attached through
+// sim.Config.Observer and receives
+//
+//   - lifecycle events (candidate seen → gated/sent → spawn → ack →
+//     coherence invalidate) through an optional EventSink, and
+//   - occupancy/traffic samples every SampleEvery cycles into the
+//     Registry's time series.
+//
+// Everything is nil-safe: a nil Observer (the default) costs the hot path
+// a single pointer comparison, and an Observer without a Trace sink still
+// collects metrics. All registry primitives are safe for concurrent use,
+// so one Observer can serve runs executing in parallel goroutines.
+package obs
+
+// Observer bundles a metrics registry with an optional event trace and the
+// sampling cadence the simulator should use.
+type Observer struct {
+	// Registry collects counters, gauges and time series. Never nil for
+	// observers built with New.
+	Registry *Registry
+	// Trace, when non-nil, receives one Event per offload-lifecycle step.
+	Trace EventSink
+	// SampleEvery is the occupancy/traffic sampling interval in cycles.
+	// Zero selects DefaultSampleEvery.
+	SampleEvery int64
+}
+
+// DefaultSampleEvery is the sampling interval used when SampleEvery is 0.
+const DefaultSampleEvery = 1024
+
+// New returns an Observer with a fresh registry and no trace sink.
+func New() *Observer {
+	return &Observer{Registry: NewRegistry()}
+}
+
+// Interval returns the effective sampling interval.
+func (o *Observer) Interval() int64 {
+	if o == nil || o.SampleEvery <= 0 {
+		return DefaultSampleEvery
+	}
+	return o.SampleEvery
+}
+
+// Emit forwards an event to the trace sink; a nil observer or sink drops it.
+func (o *Observer) Emit(ev Event) {
+	if o == nil || o.Trace == nil {
+		return
+	}
+	o.Trace.Emit(ev)
+}
+
+// Event is one structured trace record. Kind identifies the lifecycle step;
+// the remaining fields are populated as applicable (and omitted from JSON
+// when zero).
+type Event struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"`
+	// SM is the emitting streaming multiprocessor's global id.
+	SM int `json:"sm,omitempty"`
+	// Stack is the memory stack involved (destination for offloads).
+	Stack int `json:"stack,omitempty"`
+	// PC is the candidate region's start PC.
+	PC int `json:"pc,omitempty"`
+	// Reason qualifies gate events (busy, full, cond, alu).
+	Reason string `json:"reason,omitempty"`
+	// Bytes is the payload size on the wire for send/ack events.
+	Bytes int `json:"bytes,omitempty"`
+	// N is an event-specific count (dirty lines invalidated, learning
+	// instances observed).
+	N int `json:"n,omitempty"`
+	// Bit is the learned mapping bit on learn-end events (-1 = none).
+	Bit int `json:"bit,omitempty"`
+}
+
+// Event kinds emitted by the simulator (see docs/OBSERVABILITY.md).
+const (
+	EvCandidate = "candidate" // main-SM warp reached a candidate entry
+	EvGate      = "gate"      // offload suppressed (Reason says why)
+	EvSend      = "send"      // offload request queued on the TX link
+	EvSpawn     = "spawn"     // stack SM started executing the region
+	EvAck       = "ack"       // region done; ack queued on the RX link
+	EvFinish    = "finish"    // requesting warp resumed (N dirty lines)
+	EvLearnEnd  = "learn_end" // tmap learning phase closed
+)
+
+// EventSink consumes trace events. Implementations must be safe for
+// concurrent Emit calls.
+type EventSink interface {
+	Emit(Event)
+}

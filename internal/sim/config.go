@@ -12,6 +12,8 @@
 // functional interpreter — an invariant the integration tests enforce.
 package sim
 
+import "repro/internal/obs"
+
 // OffloadMode selects the NDP offloading policy under evaluation.
 type OffloadMode int
 
@@ -50,6 +52,12 @@ const (
 
 // Config holds every model parameter. DefaultConfig mirrors Table 1.
 type Config struct {
+	// Observer, when non-nil, receives offload-lifecycle events and
+	// per-interval occupancy/traffic samples (see internal/obs and
+	// docs/OBSERVABILITY.md). Nil — the default — keeps the hot path free
+	// of instrumentation beyond a single pointer check.
+	Observer *obs.Observer
+
 	// --- GPU organization ---
 	MainSMs      int // SMs in the main GPU
 	WarpsPerSM   int

@@ -66,6 +66,16 @@ func (l2 *l2sys) tick(now int64) {
 	}
 }
 
+// queuedTxns counts transactions waiting in bank queues (sampled by the
+// observability layer alongside the MSHR occupancy).
+func (l2 *l2sys) queuedTxns() int {
+	n := 0
+	for _, b := range l2.banks {
+		n += len(b.queue)
+	}
+	return n
+}
+
 func (l2 *l2sys) active() bool {
 	for _, b := range l2.banks {
 		if len(b.queue) > 0 {

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"strconv"
+
+	"repro/internal/compiler"
+	"repro/internal/obs"
+)
+
+// obsState is the simulator's binding to an attached obs.Observer. Every
+// metric handle is resolved once at construction so the per-cycle cost with
+// an observer enabled is one comparison plus, at sampling boundaries, a few
+// dozen series updates; with Config.Observer nil the hot path pays a single
+// nil check.
+//
+// Invariant (tested): the per-interval traffic series and the lifecycle
+// counters sum exactly to the corresponding sim.Stats totals — the series
+// record deltas of the same cumulative link counters finalizeStats reads,
+// and the counters are incremented at the same sites as their Stats twins.
+type obsState struct {
+	o     *obs.Observer
+	every int64
+	next  int64 // next sampling cycle
+
+	// Per-interval off-chip traffic (byte deltas between samples).
+	tx, rx, cross, pcie                 *obs.Series
+	lastTX, lastRX, lastCross, lastPCIe uint64
+
+	// Per-stack occupancy, sampled once per interval (instantaneous).
+	pending []*obs.Series // pending-offload occupancy per stack
+	txUtil  []*obs.Series // TX link sliding-window utilization
+	rxUtil  []*obs.Series
+	dramQ   []*obs.Series // vault queue + in-flight occupancy per stack
+	l2mshrQ *obs.Series   // outstanding L2 misses
+	l2bankQ *obs.Series   // transactions waiting in L2 bank queues
+	learnQ  *obs.Series   // learning-phase instances observed so far
+
+	// Offload lifecycle counters (mirror the sim.Stats fields exactly).
+	candidates, sent, acks                 *obs.Counter
+	skipBusy, skipFull, skipCond, skipALU  *obs.Counter
+	invalidates, drainStalls, spawnCounter *obs.Counter
+}
+
+// newObsState resolves every handle against the observer's registry.
+func newObsState(cfg *Config) *obsState {
+	o := cfg.Observer
+	every := o.Interval()
+	reg := o.Registry
+	ob := &obsState{
+		o:     o,
+		every: every,
+		next:  every,
+
+		tx:    reg.Series("traffic.gpu_tx_bytes", every),
+		rx:    reg.Series("traffic.gpu_rx_bytes", every),
+		cross: reg.Series("traffic.cross_bytes", every),
+		pcie:  reg.Series("traffic.pcie_bytes", every),
+
+		l2mshrQ: reg.Series("l2.mshr_occupancy", every),
+		l2bankQ: reg.Series("l2.bank_queue_occupancy", every),
+		learnQ:  reg.Series("learn.instances_seen", every),
+
+		candidates:   reg.Counter("offload.candidates"),
+		sent:         reg.Counter("offload.sent"),
+		acks:         reg.Counter("offload.acks"),
+		skipBusy:     reg.Counter("offload.skipped_busy"),
+		skipFull:     reg.Counter("offload.skipped_full"),
+		skipCond:     reg.Counter("offload.skipped_cond"),
+		skipALU:      reg.Counter("offload.skipped_alu"),
+		invalidates:  reg.Counter("coherence.invalidates"),
+		drainStalls:  reg.Counter("offload.drain_stalls"),
+		spawnCounter: reg.Counter("offload.spawns"),
+	}
+	for s := 0; s < cfg.Stacks; s++ {
+		id := strconv.Itoa(s)
+		ob.pending = append(ob.pending, reg.Series("stack."+id+".pending_offloads", every))
+		ob.txUtil = append(ob.txUtil, reg.Series("link.tx"+id+".util", every))
+		ob.rxUtil = append(ob.rxUtil, reg.Series("link.rx"+id+".util", every))
+		ob.dramQ = append(ob.dramQ, reg.Series("dram.stack"+id+".occupancy", every))
+	}
+	return ob
+}
+
+// addTraffic records the byte deltas since the previous sample into the
+// bucket containing cycle `at`.
+func (ob *obsState) addTraffic(sys *System, at int64) {
+	var tx, rx, cross uint64
+	for s := 0; s < sys.cfg.Stacks; s++ {
+		tx += sys.txLinks[s].BytesSent
+		rx += sys.rxLinks[s].BytesSent
+		for t := 0; t < sys.cfg.Stacks; t++ {
+			if s != t {
+				cross += sys.crossLinks[s][t].BytesSent
+			}
+		}
+	}
+	pcie := sys.pcieTX.BytesSent + sys.pcieRX.BytesSent
+	ob.tx.Add(at, float64(tx-ob.lastTX))
+	ob.rx.Add(at, float64(rx-ob.lastRX))
+	ob.cross.Add(at, float64(cross-ob.lastCross))
+	ob.pcie.Add(at, float64(pcie-ob.lastPCIe))
+	ob.lastTX, ob.lastRX, ob.lastCross, ob.lastPCIe = tx, rx, cross, pcie
+}
+
+// sample runs at each interval boundary: attribute traffic deltas and
+// occupancy readings to the interval that just ended.
+func (ob *obsState) sample(sys *System, now int64) {
+	ob.next = now + ob.every
+	at := now - 1 // the closing cycle of the finished interval
+	if at < 0 {
+		at = 0
+	}
+	ob.addTraffic(sys, at)
+	for s := 0; s < sys.cfg.Stacks; s++ {
+		ob.pending[s].Add(at, float64(sys.pendingOffloads[s]))
+		ob.txUtil[s].Add(at, sys.txLinks[s].Utilization())
+		ob.rxUtil[s].Add(at, sys.rxLinks[s].Utilization())
+		ob.dramQ[s].Add(at, float64(sys.stacks[s].occupancy()))
+	}
+	ob.l2mshrQ.Add(at, float64(len(sys.l2mshr)))
+	ob.l2bankQ.Add(at, float64(sys.l2.queuedTxns()))
+	ob.learnQ.Add(at, float64(sys.learnSeen))
+}
+
+// flush closes out the final partial interval so every traffic series sums
+// exactly to its sim.Stats total. Called once from finalizeStats.
+func (ob *obsState) flush(sys *System) {
+	at := sys.now - 1
+	if at < 0 {
+		at = 0
+	}
+	ob.addTraffic(sys, at)
+}
+
+// obGate records one suppressed offload: the per-reason counter plus a gate
+// trace event. dest < 0 means the gate fired before a destination stack was
+// known (the conditional-trip check).
+func (sys *System) obGate(now int64, sm *SM, cand *compiler.Candidate, dest int, reason string) {
+	ob := sys.ob
+	if ob == nil {
+		return
+	}
+	switch reason {
+	case "busy":
+		ob.skipBusy.Inc()
+	case "full":
+		ob.skipFull.Inc()
+	case "cond":
+		ob.skipCond.Inc()
+	case "alu":
+		ob.skipALU.Inc()
+	}
+	ev := obs.Event{Cycle: now, Kind: obs.EvGate, SM: sm.id, PC: cand.StartPC, Reason: reason}
+	if dest >= 0 {
+		ev.Stack = dest
+	}
+	ob.o.Emit(ev)
+}
+
+// occupancy counts a stack's DRAM work: queued requests plus issued bursts
+// whose completion is still pending, across all vaults.
+func (s *stackNode) occupancy() int {
+	n := 0
+	for _, v := range s.vaults {
+		snap := v.Snapshot()
+		n += snap.Queued + snap.InFlight
+	}
+	return n
+}

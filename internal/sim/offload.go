@@ -4,6 +4,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/exec"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // offloadJob carries one offloaded candidate instance: the request the
@@ -26,6 +27,10 @@ type offloadJob struct {
 // false the warp executes the region inline.
 func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candidate, now int64) bool {
 	sys.stats.CandidateInstances++
+	if ob := sys.ob; ob != nil {
+		ob.candidates.Inc()
+		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvCandidate, SM: sm.id, PC: cand.StartPC})
+	}
 	if sys.learning {
 		sw.collect = &collectState{cand: cand}
 		return false
@@ -52,6 +57,7 @@ func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candi
 		}
 		if cond.Trips(ind, bound) < cond.MinTrips {
 			sys.stats.OffloadsSkippedCond++
+			sys.obGate(now, sm, cand, -1, "cond")
 			return false
 		}
 	}
@@ -66,21 +72,25 @@ func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candi
 		if g := sys.cfg.ALUGate; g > 0 && cand.ALUFrac > g &&
 			sys.pendingOffloads[dest] > sys.cfg.StackSMs*sys.cfg.StackWarps()/2 {
 			sys.stats.OffloadsSkippedALU++
+			sys.obGate(now, sm, cand, dest, "alu")
 			return false
 		}
 		// Step 2: channel-busy gating via the 2-bit tag (§3.3).
 		th := sys.cfg.BusyThreshold
 		if !cand.SavesTX && sys.txLinks[dest].Busy(th) {
 			sys.stats.OffloadsSkippedBusy++
+			sys.obGate(now, sm, cand, dest, "busy")
 			return false
 		}
 		if !cand.SavesRX && sys.rxLinks[dest].Busy(th) {
 			sys.stats.OffloadsSkippedBusy++
+			sys.obGate(now, sm, cand, dest, "busy")
 			return false
 		}
 		// Step 3: pending-offload limit = stack SM warp capacity.
 		if sys.pendingOffloads[dest] >= sys.cfg.StackSMs*sys.cfg.StackWarps() {
 			sys.stats.OffloadsSkippedFull++
+			sys.obGate(now, sm, cand, dest, "full")
 			return false
 		}
 	}
@@ -93,6 +103,9 @@ func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candi
 		sw.drainDest = dest
 		sm.unready(sw, wsWaitDrain)
 		sys.stats.StoreDrainStalls++
+		if sys.ob != nil {
+			sys.ob.drainStalls.Inc()
+		}
 		return true
 	}
 	sys.launchOffload(sm, sw, cand, dest, now)
@@ -117,6 +130,11 @@ func (sys *System) launchOffload(sm *SM, sw *smWarp, cand *compiler.Candidate, d
 	}
 	reqBytes := offloadHdrBytes + cand.NumLiveIn()*isa.WarpSize*regLaneBytes
 	sys.stats.OffloadsSent++
+	if ob := sys.ob; ob != nil {
+		ob.sent.Inc()
+		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvSend, SM: sm.id, Stack: dest,
+			PC: cand.StartPC, Bytes: reqBytes})
+	}
 	sys.wheel.after(sys.cfg.OffloadPipeLat, func(at int64) {
 		sys.txLinks[dest].Send(packetOf(reqBytes, func(rx int64) {
 			sm := sys.stacks[dest].spawnTarget()
@@ -136,6 +154,7 @@ func (sys *System) offloadIdeal(sm *SM, sw *smWarp, cand *compiler.Candidate, no
 	}
 	if sys.pendingOffloads[dest] >= sys.cfg.StackSMs*sys.cfg.StackWarps() {
 		sys.stats.OffloadsSkippedFull++
+		sys.obGate(now, sm, cand, dest, "full")
 		return false
 	}
 	sm.unready(sw, wsWaitOffload)
@@ -153,6 +172,11 @@ func (sys *System) offloadIdeal(sm *SM, sw *smWarp, cand *compiler.Candidate, no
 	}
 	sys.pendingOffloads[dest]++
 	sys.stats.OffloadsSent++
+	if ob := sys.ob; ob != nil {
+		ob.sent.Inc()
+		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvSend, SM: sm.id, Stack: dest,
+			PC: cand.StartPC})
+	}
 	sm2 := sys.stacks[dest].spawnTarget()
 	sm2.spawnQ = append(sm2.spawnQ, job)
 	return true
@@ -178,6 +202,11 @@ func (sm *SM) trySpawn(now int64) {
 }
 
 func (sm *SM) spawn(job *offloadJob, now int64) {
+	if ob := sm.sys.ob; ob != nil {
+		ob.spawnCounter.Inc()
+		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvSpawn, SM: sm.id, Stack: job.dest,
+			PC: job.cand.StartPC})
+	}
 	if sm.sys.cfg.Coherence {
 		// §4.4.2 step 2: invalidate the stack SM's private cache before
 		// running the offloaded block.
@@ -218,6 +247,11 @@ func (sys *System) sendOffloadAck(sw *smWarp, now int64) {
 	if sys.cfg.Coherence {
 		ackBytes += len(job.dirty) * dirtyAddrBytes
 	}
+	if ob := sys.ob; ob != nil {
+		ob.acks.Inc()
+		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvAck, SM: sm.id, Stack: job.dest,
+			PC: cand.StartPC, Bytes: ackBytes})
+	}
 	if sys.cfg.Offload == OffloadIdeal {
 		sys.wheel.after(1, func(at int64) { sys.finishOffload(job, at) })
 		return
@@ -245,7 +279,14 @@ func (sys *System) finishOffload(job *offloadJob, now int64) {
 			sys.l2.invalidate(line)
 		}
 		sys.stats.CoherenceInvalidates += uint64(len(job.dirty))
+		if sys.ob != nil {
+			sys.ob.invalidates.Add(uint64(len(job.dirty)))
+		}
 		invalidateCost = int64(len(job.dirty)+3) / 4
+	}
+	if ob := sys.ob; ob != nil {
+		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvFinish, SM: sm.id, Stack: job.dest,
+			PC: job.cand.StartPC, N: len(job.dirty)})
 	}
 	sys.pendingOffloads[job.dest]--
 	sw.w.SkipTo(job.cand.EndPC)

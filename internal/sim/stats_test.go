@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestStatsIPCZeroCycles(t *testing.T) {
+	s := &Stats{ThreadInstrs: 100}
+	if got := s.IPC(); got != 0 {
+		t.Fatalf("IPC with zero cycles = %v, want 0", got)
+	}
+	s.Cycles = 50
+	if got := s.IPC(); got != 2 {
+		t.Fatalf("IPC = %v, want 2", got)
+	}
+}
+
+func TestStatsOffloadedFractionZeroInstrs(t *testing.T) {
+	s := &Stats{StackThreadInstrs: 7}
+	if got := s.OffloadedInstrFraction(); got != 0 {
+		t.Fatalf("fraction with zero instrs = %v, want 0", got)
+	}
+	s.ThreadInstrs = 28
+	if got := s.OffloadedInstrFraction(); got != 0.25 {
+		t.Fatalf("fraction = %v, want 0.25", got)
+	}
+}
+
+func TestStatsOffChipBytes(t *testing.T) {
+	s := &Stats{GPUTXBytes: 1, GPURXBytes: 2, CrossBytes: 4,
+		PCIeBytes: 100, InternalBytes: 1000}
+	// Off-chip = GPU↔memory + memory↔memory; PCIe and TSV traffic are
+	// reported separately.
+	if got := s.OffChipBytes(); got != 7 {
+		t.Fatalf("OffChipBytes = %d, want 7", got)
+	}
+	if (&Stats{}).OffChipBytes() != 0 {
+		t.Fatal("empty stats must report zero traffic")
+	}
+}
+
+// TestObserverMatchesStats is the acceptance check for the observability
+// layer: with an Observer attached, the per-interval traffic series and the
+// lifecycle counters must sum exactly to the end-of-run sim.Stats totals,
+// and the trace must carry one event per lifecycle step.
+func TestObserverMatchesStats(t *testing.T) {
+	env := streamEnv(t, 16, 16)
+	cfg := DefaultConfig()
+	cfg.Mapping = MapBaseline
+	o := obs.New()
+	o.SampleEvery = 512
+	sink := &obs.CollectSink{}
+	o.Trace = sink
+	cfg.Observer = o
+	sys := runSim(t, cfg, env)
+	st := sys.Stats()
+	if st.OffloadsSent == 0 {
+		t.Fatal("run must offload for the lifecycle check to mean anything")
+	}
+
+	reg := o.Registry
+	seriesSum := func(name string) uint64 {
+		return uint64(reg.Series(name, o.SampleEvery).Sum() + 0.5)
+	}
+	if got := seriesSum("traffic.gpu_tx_bytes"); got != st.GPUTXBytes {
+		t.Errorf("tx series sums to %d, stats say %d", got, st.GPUTXBytes)
+	}
+	if got := seriesSum("traffic.gpu_rx_bytes"); got != st.GPURXBytes {
+		t.Errorf("rx series sums to %d, stats say %d", got, st.GPURXBytes)
+	}
+	if got := seriesSum("traffic.cross_bytes"); got != st.CrossBytes {
+		t.Errorf("cross series sums to %d, stats say %d", got, st.CrossBytes)
+	}
+	if got := seriesSum("traffic.pcie_bytes"); got != st.PCIeBytes {
+		t.Errorf("pcie series sums to %d, stats say %d", got, st.PCIeBytes)
+	}
+
+	counters := []struct {
+		name string
+		want uint64
+	}{
+		{"offload.candidates", st.CandidateInstances},
+		{"offload.sent", st.OffloadsSent},
+		{"offload.acks", st.OffloadsSent}, // every sent offload acks exactly once
+		{"offload.spawns", st.OffloadsSent},
+		{"offload.skipped_busy", st.OffloadsSkippedBusy},
+		{"offload.skipped_full", st.OffloadsSkippedFull},
+		{"offload.skipped_cond", st.OffloadsSkippedCond},
+		{"offload.skipped_alu", st.OffloadsSkippedALU},
+		{"coherence.invalidates", st.CoherenceInvalidates},
+		{"offload.drain_stalls", st.StoreDrainStalls},
+	}
+	for _, c := range counters {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("counter %s = %d, stats say %d", c.name, got, c.want)
+		}
+	}
+
+	// Lifecycle trace: one event per step, matching the counters.
+	if got := sink.CountKind(obs.EvCandidate); uint64(got) != st.CandidateInstances {
+		t.Errorf("candidate events = %d, want %d", got, st.CandidateInstances)
+	}
+	if got := sink.CountKind(obs.EvSend); uint64(got) != st.OffloadsSent {
+		t.Errorf("send events = %d, want %d", got, st.OffloadsSent)
+	}
+	if got := sink.CountKind(obs.EvAck); uint64(got) != st.OffloadsSent {
+		t.Errorf("ack events = %d, want %d", got, st.OffloadsSent)
+	}
+	if got := sink.CountKind(obs.EvFinish); uint64(got) != st.OffloadsSent {
+		t.Errorf("finish events = %d, want %d", got, st.OffloadsSent)
+	}
+	skips := st.OffloadsSkippedBusy + st.OffloadsSkippedFull +
+		st.OffloadsSkippedCond + st.OffloadsSkippedALU
+	if got := sink.CountKind(obs.EvGate); uint64(got) != skips {
+		t.Errorf("gate events = %d, want %d", got, skips)
+	}
+
+	// Per-stack pending-offload occupancy: one sample per elapsed interval
+	// for each stack, and at least one nonzero reading somewhere (the run
+	// offloaded).
+	sawPending := false
+	for s := 0; s < cfg.Stacks; s++ {
+		ser := reg.Series("stack."+string(rune('0'+s))+".pending_offloads", o.SampleEvery)
+		if ser.Sum() > 0 {
+			sawPending = true
+		}
+	}
+	if !sawPending {
+		t.Error("no pending-offload occupancy was ever sampled nonzero")
+	}
+}
+
+// TestObserverLearningPhase: the tmap learning phase must emit a learn_end
+// event and route its traffic into the pcie series.
+func TestObserverLearningPhase(t *testing.T) {
+	env := streamEnv(t, 16, 16)
+	cfg := DefaultConfig() // MapTransparent: learning on
+	o := obs.New()
+	sink := &obs.CollectSink{}
+	o.Trace = sink
+	cfg.Observer = o
+	sys := runSim(t, cfg, env)
+	if got := sink.CountKind(obs.EvLearnEnd); got != 1 {
+		t.Fatalf("learn_end events = %d, want 1", got)
+	}
+	for _, ev := range sink.Events() {
+		if ev.Kind == obs.EvLearnEnd && ev.Bit != sys.Stats().LearnedBit {
+			t.Errorf("learn_end bit = %d, stats say %d", ev.Bit, sys.Stats().LearnedBit)
+		}
+	}
+	if sys.Stats().PCIeBytes == 0 {
+		t.Fatal("learning phase should move PCIe bytes")
+	}
+	if got := uint64(o.Registry.Series("traffic.pcie_bytes", 0).Sum() + 0.5); got != sys.Stats().PCIeBytes {
+		t.Errorf("pcie series sums to %d, stats say %d", got, sys.Stats().PCIeBytes)
+	}
+}
+
+// TestObserverNilIsInert: a nil Observer must leave results identical to an
+// unobserved run (same cycles, same stats) — the hook must be timing-free.
+func TestObserverNilIsInert(t *testing.T) {
+	env := streamEnv(t, 8, 8)
+	cfg := DefaultConfig()
+	cfg.Mapping = MapBaseline
+	plain := runSim(t, cfg, env)
+
+	cfg2 := cfg
+	cfg2.Observer = obs.New()
+	observed := runSim(t, cfg2, env)
+
+	if plain.Stats().Cycles != observed.Stats().Cycles {
+		t.Errorf("observer changed timing: %d vs %d cycles",
+			plain.Stats().Cycles, observed.Stats().Cycles)
+	}
+	if plain.Stats().OffloadsSent != observed.Stats().OffloadsSent {
+		t.Errorf("observer changed offloads: %d vs %d",
+			plain.Stats().OffloadsSent, observed.Stats().OffloadsSent)
+	}
+	if plain.Stats().OffChipBytes() != observed.Stats().OffChipBytes() {
+		t.Errorf("observer changed traffic: %d vs %d",
+			plain.Stats().OffChipBytes(), observed.Stats().OffChipBytes())
+	}
+}

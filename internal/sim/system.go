@@ -9,6 +9,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/mapping"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // launchCtx tracks one kernel launch's CTA dispatch.
@@ -55,6 +56,9 @@ type System struct {
 
 	mdCache map[*isa.Kernel]*compiler.Metadata
 	trace   func(now int64)
+
+	// ob is non-nil iff cfg.Observer is set (see observe.go).
+	ob *obsState
 }
 
 // New builds a system over the given memory and allocation table.
@@ -99,6 +103,9 @@ func New(cfg Config, m *mem.Flat, alloc *mem.AllocTable) *System {
 	sys.pcieRX = link.New("pcieRX", cfg.PCIeBW, cfg.PCIeLat/2)
 	sys.pendingOffloads = make([]int, cfg.Stacks)
 	sys.analyzer = mapping.NewAnalyzer(cfg.Stacks, alloc)
+	if cfg.Observer != nil {
+		sys.ob = newObsState(&sys.cfg)
+	}
 
 	switch cfg.Mapping {
 	case MapTransparent:
@@ -200,6 +207,12 @@ func (sys *System) endLearning() {
 	sys.learning = false
 	sys.stats.LearnInstances = sys.learnSeen
 	sys.stats.LearnCycles = sys.now
+	if sys.ob != nil {
+		defer func() {
+			sys.ob.o.Emit(obs.Event{Cycle: sys.now, Kind: obs.EvLearnEnd,
+				N: sys.learnSeen, Bit: sys.stats.LearnedBit})
+		}()
+	}
 	if sys.learnSeen == 0 {
 		// Nothing observed before the watchdog fired: keep the baseline
 		// mapping for everything.
@@ -303,6 +316,9 @@ func (sys *System) runLaunch(l exec.Launch) error {
 		if sys.trace != nil {
 			sys.trace(now)
 		}
+		if ob := sys.ob; ob != nil && now >= ob.next {
+			ob.sample(sys, now)
+		}
 		// Learning watchdog: close the phase at the deadline with
 		// whatever has been observed; with nothing observed, give up on
 		// the learned mapping entirely (tmap degrades to bmap).
@@ -400,6 +416,9 @@ func (sys *System) quiet() bool {
 func (sys *System) finalizeStats() {
 	st := &sys.stats
 	st.Cycles = sys.now
+	if sys.ob != nil {
+		sys.ob.flush(sys)
+	}
 	for s := 0; s < sys.cfg.Stacks; s++ {
 		st.GPUTXBytes += sys.txLinks[s].BytesSent
 		st.GPURXBytes += sys.rxLinks[s].BytesSent
