@@ -2,14 +2,19 @@
 // prints the measured statistics.
 //
 //	tomsim -workload LIB -config ctrl-tmap -scale 1.0
+//	tomsim -workload LIB -cache                       # replay from .tomcache/
 //	tomsim -workload LIB -trace out.jsonl -metrics out.json
+//	tomsim -workload LIB -trace out.jsonl -trace-sample 64
 //	tomsim -list
 //
 // -trace streams the offload lifecycle (candidate → gate/send → spawn →
-// ack → finish) as JSON lines; -metrics writes the end-of-run registry
-// snapshot — per-interval off-chip traffic, per-stack pending-offload
-// occupancy, link utilization, and queue depths. See docs/OBSERVABILITY.md
-// for both schemas.
+// ack → finish) as JSON lines; -trace-sample N keeps one event in N per
+// kind, bounding trace volume on full-scale runs. -metrics writes the
+// end-of-run registry snapshot — per-interval off-chip traffic, per-stack
+// pending-offload occupancy, link utilization, and queue depths. See
+// docs/OBSERVABILITY.md for both schemas. -cache persists and replays
+// plain (unobserved) runs under -cache-dir; observed runs always execute,
+// since only an execution can produce time series.
 package main
 
 import (
@@ -30,8 +35,12 @@ func main() {
 	compare := flag.Bool("compare", true, "also run the baseline and report speedup")
 	list := flag.Bool("list", false, "list workloads and configurations")
 	tracePath := flag.String("trace", "", "write offload-lifecycle events to this JSONL file")
+	traceSample := flag.Int("trace-sample", 1, "keep one trace event in N per event kind (1 = keep all)")
 	metricsPath := flag.String("metrics", "", "write the metrics snapshot to this JSON file")
 	interval := flag.Int64("interval", 0, "metrics sampling interval in cycles (0 = default)")
+	cache := flag.Bool("cache", false, "persist and replay verified results under -cache-dir")
+	noCache := flag.Bool("no-cache", false, "force-disable the persistent result cache")
+	cacheDir := flag.String("cache-dir", ".tomcache", "persistent result cache directory")
 	flag.Parse()
 
 	if *list {
@@ -46,10 +55,14 @@ func main() {
 		return
 	}
 
-	r := tom.NewRunner(*scale)
-	r.Progress = func(format string, args ...any) {
+	opts := tom.SessionOptions{Scale: *scale}
+	if *cache && !*noCache {
+		opts.CacheDir = *cacheDir
+	}
+	opts.Progress = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
+	s := tom.NewSession(opts)
 
 	var observer *obs.Observer
 	var sink *obs.JSONLSink
@@ -64,11 +77,15 @@ func main() {
 			}
 			traceFile = f
 			sink = obs.NewJSONLSink(f)
-			observer.Trace = sink
+			if *traceSample > 1 {
+				observer.Trace = obs.NewSamplingSink(sink, *traceSample)
+			} else {
+				observer.Trace = sink
+			}
 		}
 	}
 
-	res, err := r.RunObserved(*workload, core.ConfigName(*config), observer)
+	res, err := s.RunObserved(*workload, core.ConfigName(*config), observer)
 	if err != nil {
 		fatal(err)
 	}
@@ -78,6 +95,10 @@ func main() {
 		}
 		if err := traceFile.Close(); err != nil {
 			fatal(fmt.Errorf("trace: %w", err))
+		}
+		if ss, ok := observer.Trace.(*obs.SamplingSink); ok {
+			fmt.Fprintf(os.Stderr, "trace: sampled 1/%d per kind, dropped %d events\n",
+				*traceSample, ss.Dropped())
 		}
 	}
 	if *metricsPath != "" {
@@ -90,32 +111,38 @@ func main() {
 		}
 	}
 
-	s := &res.Stats
+	st := &res.Stats
 	fmt.Printf("workload       %s\nconfig         %s\n", res.Abbr, res.Config)
-	fmt.Printf("cycles         %d\nIPC            %.2f\n", s.Cycles, s.IPC())
-	fmt.Printf("thread instrs  %d (%.1f%% on stack SMs)\n", s.ThreadInstrs, s.OffloadedInstrFraction()*100)
+	fmt.Printf("cycles         %d\nIPC            %.2f\n", st.Cycles, st.IPC())
+	fmt.Printf("thread instrs  %d (%.1f%% on stack SMs)\n", st.ThreadInstrs, st.OffloadedInstrFraction()*100)
 	fmt.Printf("off-chip bytes %d (RX %d, TX %d, mem-mem %d)\n",
-		s.OffChipBytes(), s.GPURXBytes, s.GPUTXBytes, s.CrossBytes)
-	fmt.Printf("offloads       %d sent, %d skipped (busy %d / full %d / cond %d)\n",
-		s.OffloadsSent, s.OffloadsSkippedBusy+s.OffloadsSkippedFull+s.OffloadsSkippedCond,
-		s.OffloadsSkippedBusy, s.OffloadsSkippedFull, s.OffloadsSkippedCond)
+		st.OffChipBytes(), st.GPURXBytes, st.GPUTXBytes, st.CrossBytes)
+	fmt.Printf("offloads       %d sent, %d acked, %d skipped (busy %d / full %d / cond %d)\n",
+		st.OffloadsSent, st.OffloadsAcked,
+		st.OffloadsSkippedBusy+st.OffloadsSkippedFull+st.OffloadsSkippedCond,
+		st.OffloadsSkippedBusy, st.OffloadsSkippedFull, st.OffloadsSkippedCond)
 	fmt.Printf("caches         L1 %.1f%%, L2 %.1f%%, stack L1 %.1f%%\n",
-		hitPct(s.L1Hits, s.L1Misses), hitPct(s.L2Hits, s.L2Misses), hitPct(s.StackL1Hits, s.StackL1Misses))
+		hitPct(st.L1Hits, st.L1Misses), hitPct(st.L2Hits, st.L2Misses), hitPct(st.StackL1Hits, st.StackL1Misses))
 	fmt.Printf("DRAM           %d activations, %.1f%% row hits\n",
-		s.DRAMActivations, hitPct(s.DRAMRowHits, s.DRAMActivations))
+		st.DRAMActivations, hitPct(st.DRAMRowHits, st.DRAMActivations))
 	fmt.Printf("energy         %.3f mJ (SMs %.3f, links %.3f, DRAM %.3f)\n",
 		res.Energy.Total()*1e3, res.Energy.SMs*1e3, res.Energy.Links*1e3, res.Energy.DRAM*1e3)
-	if s.LearnCycles > 0 {
+	if st.LearnCycles > 0 {
 		fmt.Printf("tmap learning  bit %d from %d instances in %d cycles; %d bytes re-mapped\n",
-			s.LearnedBit, s.LearnInstances, s.LearnCycles, s.CopiedBytes)
+			st.LearnedBit, st.LearnInstances, st.LearnCycles, st.CopiedBytes)
 	}
 	if *compare && res.Config != tom.Baseline {
-		base, err := r.Run(*workload, tom.Baseline)
+		base, err := s.Run(*workload, tom.Baseline)
 		if err != nil {
 			fatal(fmt.Errorf("baseline: %w", err))
 		}
 		fmt.Printf("speedup        %.3fx over baseline (%d cycles)\n",
-			s.IPC()/base.Stats.IPC(), base.Stats.Cycles)
+			st.IPC()/base.Stats.IPC(), base.Stats.Cycles)
+	}
+	if dir := s.CacheDir(); dir != "" {
+		cs := s.CacheStats()
+		fmt.Fprintf(os.Stderr, "cache: dir=%s hits=%d simulated=%d\n",
+			dir, cs.DiskHits, cs.Simulated)
 	}
 }
 

@@ -2,8 +2,13 @@
 //
 //	tomx                                  # all experiments at default scale
 //	tomx -exp fig8 -scale 0.5             # one experiment
+//	tomx -exp fig8 -cache                 # reuse .tomcache/ results across runs
 //	tomx -exp fig9 -metrics fig9.json     # plus the time-resolved traffic export
 //	tomx -markdown                        # emit EXPERIMENTS.md-style markdown
+//
+// With -cache, verified results persist under -cache-dir keyed by run-spec
+// digest and build fingerprint (see docs/RUNCACHE.md): a second identical
+// invocation replays every run from disk and prints byte-identical tables.
 package main
 
 import (
@@ -23,28 +28,35 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	metrics := flag.String("metrics", "", "with -exp fig9: write per-interval off-chip traffic snapshots to this JSON file")
 	interval := flag.Int64("interval", 0, "metrics sampling interval in cycles (0 = default)")
+	cache := flag.Bool("cache", false, "persist and replay verified results under -cache-dir")
+	noCache := flag.Bool("no-cache", false, "force-disable the persistent result cache")
+	cacheDir := flag.String("cache-dir", ".tomcache", "persistent result cache directory")
 	flag.Parse()
 
 	if *metrics != "" && *exp != "fig9" {
 		fatal(fmt.Errorf("-metrics is the time-resolved Fig. 9 export; use it with -exp fig9"))
 	}
 
-	r := tom.NewRunner(*scale)
+	opts := tom.SessionOptions{Scale: *scale}
+	if *cache && !*noCache {
+		opts.CacheDir = *cacheDir
+	}
 	if !*quiet {
-		r.Progress = func(format string, args ...any) {
+		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	s := tom.NewSession(opts)
 
 	var tables []*tom.Table
 	if *exp == "all" {
-		ts, err := r.AllExperiments()
+		ts, err := s.AllExperiments()
 		if err != nil {
 			fatal(err)
 		}
 		tables = ts
 	} else {
-		t, err := r.Experiment(*exp)
+		t, err := s.Experiment(*exp)
 		if err != nil {
 			fatal(err)
 		}
@@ -61,7 +73,7 @@ func main() {
 	if *metrics != "" {
 		// The totals above came from memoized runs; the timeline reruns the
 		// same configurations with observers to add the time axis.
-		snaps, err := r.Fig9Timeline(*interval)
+		snaps, err := s.Fig9Timeline(*interval)
 		if err != nil {
 			fatal(err)
 		}
@@ -73,6 +85,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote per-interval traffic for %d runs to %s\n", len(snaps), *metrics)
+	}
+
+	if dir := s.CacheDir(); dir != "" {
+		// Machine-parseable summary: the CI cold/warm replay job asserts
+		// simulated=0 on the second pass.
+		cs := s.CacheStats()
+		fmt.Fprintf(os.Stderr, "cache: dir=%s hits=%d simulated=%d\n",
+			dir, cs.DiskHits, cs.Simulated)
 	}
 }
 

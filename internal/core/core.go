@@ -3,6 +3,18 @@
 // each timing run against the functional reference (final memory image
 // equality plus the workload's own self-check), and aggregates the results
 // into the tables that cmd/tomx, the benchmarks, and EXPERIMENTS.md report.
+//
+// Runs are requested through a Session, which layers three caches over the
+// simulator (see docs/RUNCACHE.md):
+//
+//  1. an in-memory singleflight memo keyed by RunSpec digest — concurrent
+//     requests for the same run are deduplicated, repeats are free;
+//  2. an optional persistent result cache (DiskCache) holding verified
+//     RunResult records keyed by spec digest + build fingerprint, so a
+//     repeated invocation replays instead of re-simulating; and
+//  3. an observation policy (ObsPolicy) that gives each observed run a
+//     scoped, label-prefixed view of one shared obs registry, so observed
+//     runs execute in parallel without metric collisions.
 package core
 
 import (
@@ -105,47 +117,97 @@ type RunResult struct {
 	Energy energy.Breakdown
 }
 
-// Runner builds workload instances, memoizes runs and profiles, and
-// verifies every timing run against the functional reference. It is safe
-// for concurrent use: simultaneous requests for the same run are
-// deduplicated, distinct runs proceed in parallel (see Warm).
-type Runner struct {
+// Options configures a Session.
+type Options struct {
+	// Scale is the problem-size scale factor (1.0 = benchmark default).
+	Scale float64
+	// CacheDir, when non-empty, enables the persistent result cache
+	// rooted at that directory (conventionally ".tomcache").
+	CacheDir string
+	// Fingerprint overrides the build fingerprint gating persistent
+	// records; "" selects BuildFingerprint(). Tests use this to force
+	// stale-build invalidation.
+	Fingerprint string
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(format string, args ...any)
+}
+
+// CacheStats summarizes how a Session's runs were satisfied.
+type CacheStats struct {
+	MemoHits  uint64 // served from the in-memory memo
+	DiskHits  uint64 // replayed from the persistent cache
+	Simulated uint64 // executed (persistent-cache misses)
+}
+
+// Session executes runs through the layered cache architecture described in
+// the package comment. It builds workload instances, memoizes runs and
+// profiles by spec digest, and verifies every timing run against the
+// functional reference. It is safe for concurrent use: simultaneous
+// requests for the same run are deduplicated, distinct runs proceed in
+// parallel (see Warm and WarmObserved).
+type Session struct {
 	Scale float64
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(format string, args ...any)
+
+	cache *DiskCache // nil = persistent layer disabled
 
 	mu       sync.Mutex
 	inflight map[string]*flight
 	insts    map[string]*workloads.Instance // pristine instances
 	refs     map[string]*mem.Flat           // functional-reference memories
 	profiles map[string]*sim.Profile
-	runs     map[string]*RunResult
+	runs     map[string]*RunResult // keyed by RunSpec digest
+	runKeys  map[string]string     // digest -> "ABBR/config" (diagnostics)
+	stats    CacheStats
 }
 
-// NewRunner creates a runner at the given problem scale (1.0 = default).
-func NewRunner(scale float64) *Runner {
-	return &Runner{
-		Scale:    scale,
+// Runner is the historical name of Session, kept as an alias: the old
+// string-keyed memoizing runner grew into the spec-keyed session.
+type Runner = Session
+
+// NewSession creates a session with the given options.
+func NewSession(opts Options) *Session {
+	s := &Session{
+		Scale:    opts.Scale,
+		Progress: opts.Progress,
 		inflight: map[string]*flight{},
 		insts:    map[string]*workloads.Instance{},
 		refs:     map[string]*mem.Flat{},
 		profiles: map[string]*sim.Profile{},
 		runs:     map[string]*RunResult{},
+		runKeys:  map[string]string{},
+	}
+	if opts.CacheDir != "" {
+		s.cache = NewDiskCache(opts.CacheDir, opts.Fingerprint)
+	}
+	return s
+}
+
+// NewRunner creates a session at the given problem scale with no
+// persistent cache (the historical constructor).
+func NewRunner(scale float64) *Session {
+	return NewSession(Options{Scale: scale})
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.Progress != nil {
+		s.Progress(format, args...)
 	}
 }
 
-func (r *Runner) logf(format string, args ...any) {
-	if r.Progress != nil {
-		r.Progress(format, args...)
-	}
+// Spec resolves the canonical RunSpec for one workload × configuration at
+// the session's scale.
+func (s *Session) Spec(abbr string, name ConfigName) (RunSpec, error) {
+	return NewRunSpec(abbr, s.Scale, name)
 }
 
 // instance returns the pristine instance for a workload.
-func (r *Runner) instance(abbr string) (*workloads.Instance, error) {
-	err := r.once("inst/"+abbr, func() error {
-		r.mu.Lock()
-		_, ok := r.insts[abbr]
-		r.mu.Unlock()
+func (s *Session) instance(abbr string) (*workloads.Instance, error) {
+	err := s.once("inst/"+abbr, func() error {
+		s.mu.Lock()
+		_, ok := s.insts[abbr]
+		s.mu.Unlock()
 		if ok {
 			return nil
 		}
@@ -153,33 +215,33 @@ func (r *Runner) instance(abbr string) (*workloads.Instance, error) {
 		if err != nil {
 			return err
 		}
-		in, err := w.Build(r.Scale)
+		in, err := w.Build(s.Scale)
 		if err != nil {
 			return err
 		}
-		r.mu.Lock()
-		r.insts[abbr] = in
-		r.mu.Unlock()
+		s.mu.Lock()
+		s.insts[abbr] = in
+		s.mu.Unlock()
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.insts[abbr], nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insts[abbr], nil
 }
 
 // reference returns (building once) the functional-reference final memory.
-func (r *Runner) reference(abbr string) (*mem.Flat, error) {
-	err := r.once("ref/"+abbr, func() error {
-		r.mu.Lock()
-		_, ok := r.refs[abbr]
-		r.mu.Unlock()
+func (s *Session) reference(abbr string) (*mem.Flat, error) {
+	err := s.once("ref/"+abbr, func() error {
+		s.mu.Lock()
+		_, ok := s.refs[abbr]
+		s.mu.Unlock()
 		if ok {
 			return nil
 		}
-		in, err := r.instance(abbr)
+		in, err := s.instance(abbr)
 		if err != nil {
 			return err
 		}
@@ -192,29 +254,29 @@ func (r *Runner) reference(abbr string) (*mem.Flat, error) {
 				return fmt.Errorf("%s: reference self-check: %w", abbr, err)
 			}
 		}
-		r.mu.Lock()
-		r.refs[abbr] = c.Mem
-		r.mu.Unlock()
+		s.mu.Lock()
+		s.refs[abbr] = c.Mem
+		s.mu.Unlock()
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.refs[abbr], nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs[abbr], nil
 }
 
 // Profile returns (running once) the instrumented functional profile.
-func (r *Runner) Profile(abbr string) (*sim.Profile, error) {
-	err := r.once("prof/"+abbr, func() error {
-		r.mu.Lock()
-		_, ok := r.profiles[abbr]
-		r.mu.Unlock()
+func (s *Session) Profile(abbr string) (*sim.Profile, error) {
+	err := s.once("prof/"+abbr, func() error {
+		s.mu.Lock()
+		_, ok := s.profiles[abbr]
+		s.mu.Unlock()
 		if ok {
 			return nil
 		}
-		in, err := r.instance(abbr)
+		in, err := s.instance(abbr)
 		if err != nil {
 			return err
 		}
@@ -224,117 +286,165 @@ func (r *Runner) Profile(abbr string) (*sim.Profile, error) {
 			return fmt.Errorf("%s: profile: %w", abbr, err)
 		}
 		// Remember which ranges candidates touch for oracle runs.
-		r.mu.Lock()
+		s.mu.Lock()
 		for i, rg := range c.Alloc.Ranges {
 			if rg.CandidateTouched {
 				in.Alloc.Ranges[i].CandidateTouched = true
 			}
 		}
-		r.profiles[abbr] = p
-		r.mu.Unlock()
-		r.logf("profile %-4s instances=%d", abbr, p.Instances)
+		s.profiles[abbr] = p
+		s.mu.Unlock()
+		s.logf("profile %-4s instances=%d", abbr, p.Instances)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.profiles[abbr], nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.profiles[abbr], nil
 }
 
-// Run executes (or returns the memoized) workload × configuration.
-func (r *Runner) Run(abbr string, name ConfigName) (*RunResult, error) {
-	key := abbr + "/" + string(name)
-	err := r.once("run/"+key, func() error {
-		r.mu.Lock()
-		_, ok := r.runs[key]
-		r.mu.Unlock()
+// Run executes (or replays from a cache layer) workload × configuration.
+func (s *Session) Run(abbr string, name ConfigName) (*RunResult, error) {
+	spec, err := s.Spec(abbr, name)
+	if err != nil {
+		return nil, err
+	}
+	digest := spec.Digest()
+	s.mu.Lock()
+	if res, ok := s.runs[digest]; ok {
+		s.stats.MemoHits++
+		s.mu.Unlock()
+		return res, nil
+	}
+	s.mu.Unlock()
+	err = s.once("run/"+digest, func() error {
+		s.mu.Lock()
+		_, ok := s.runs[digest]
+		s.mu.Unlock()
 		if ok {
 			return nil
 		}
-		res, err := r.runUncached(abbr, name, nil)
+		res, fromDisk, err := s.fetchOrRun(spec, digest)
 		if err != nil {
 			return err
 		}
-		r.mu.Lock()
-		r.runs[key] = res
-		r.mu.Unlock()
-		r.logf("run %-4s %-14s cycles=%-9d IPC=%6.1f offloads=%-7d traffic=%dMB",
-			abbr, name, res.Stats.Cycles, res.Stats.IPC(), res.Stats.OffloadsSent,
-			res.Stats.OffChipBytes()>>20)
+		s.mu.Lock()
+		s.runs[digest] = res
+		s.runKeys[digest] = spec.Key()
+		if fromDisk {
+			s.stats.DiskHits++
+		} else {
+			s.stats.Simulated++
+		}
+		s.mu.Unlock()
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.runs[key], nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[digest], nil
+}
+
+// fetchOrRun consults the persistent layer, then simulates on a miss and
+// writes the verified result back.
+func (s *Session) fetchOrRun(spec RunSpec, digest string) (res *RunResult, fromDisk bool, err error) {
+	if s.cache != nil {
+		cached, ok, err := s.cache.Get(digest)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			s.logf("hit %-4s %-14s cycles=%-9d (replayed %.8s)",
+				spec.Abbr, spec.Config, cached.Stats.Cycles, digest)
+			return cached, true, nil
+		}
+	}
+	res, err = s.runUncached(spec, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	s.logf("run %-4s %-14s cycles=%-9d IPC=%6.1f offloads=%-7d traffic=%dMB",
+		spec.Abbr, spec.Config, res.Stats.Cycles, res.Stats.IPC(), res.Stats.OffloadsSent,
+		res.Stats.OffChipBytes()>>20)
+	if s.cache != nil {
+		if err := s.cache.Put(spec, res); err != nil {
+			// A write failure costs future replays, not correctness.
+			s.logf("cache: %v", err)
+		}
+	}
+	return res, false, nil
 }
 
 // RunObserved executes one workload × configuration with the observer
 // attached, collecting per-interval metrics and (when the observer carries
 // a trace sink) lifecycle events. Results are verified like Run's but are
-// never memoized: each caller wants its own time series, and the stats are
-// identical to the cached run's anyway (observation is timing-free).
-func (r *Runner) RunObserved(abbr string, name ConfigName, o *obs.Observer) (*RunResult, error) {
+// never memoized or replayed from the persistent cache: each caller wants
+// its own time series, which only an actual execution can produce (the
+// end-of-run stats are identical to the cached run's anyway — observation
+// is timing-free).
+func (s *Session) RunObserved(abbr string, name ConfigName, o *obs.Observer) (*RunResult, error) {
 	if o == nil {
-		return r.Run(abbr, name)
+		return s.Run(abbr, name)
 	}
-	return r.runUncached(abbr, name, o)
+	spec, err := s.Spec(abbr, name)
+	if err != nil {
+		return nil, err
+	}
+	return s.runUncached(spec, o)
 }
 
-func (r *Runner) runUncached(abbr string, name ConfigName, o *obs.Observer) (*RunResult, error) {
-	in, err := r.instance(abbr)
+func (s *Session) runUncached(spec RunSpec, o *obs.Observer) (*RunResult, error) {
+	abbr := spec.Abbr
+	in, err := s.instance(abbr)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := buildConfig(name)
-	if err != nil {
-		return nil, err
-	}
+	cfg := spec.Cfg
 	cfg.Observer = o
 	var prof *sim.Profile
 	if cfg.Mapping == sim.MapOracle {
 		// Run the profile first: it flags candidate-touched ranges on
-		// the pristine instance (under the runner lock).
-		prof, err = r.Profile(abbr)
+		// the pristine instance (under the session lock).
+		prof, err = s.Profile(abbr)
 		if err != nil {
 			return nil, err
 		}
 	}
-	r.mu.Lock()
+	s.mu.Lock()
 	c := in.Clone()
 	if prof != nil {
 		for i, rg := range in.Alloc.Ranges {
 			c.Alloc.Ranges[i].CandidateTouched = rg.CandidateTouched
 		}
 	}
-	r.mu.Unlock()
+	s.mu.Unlock()
 	sys := sim.New(cfg, c.Mem, c.Alloc)
 	if prof != nil {
 		bit, _ := prof.OracleBit()
 		sys.ApplyMappingBit(bit)
 	}
 	if err := sys.Run(c.Launches); err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", abbr, name, err)
+		return nil, fmt.Errorf("%s: %w", spec.Key(), err)
 	}
 	// Verification: the timing run must reproduce the functional memory
 	// image exactly, and pass the workload's self-check.
-	ref, err := r.reference(abbr)
+	ref, err := s.reference(abbr)
 	if err != nil {
 		return nil, err
 	}
 	if ok, addr := mem.Equal(ref, c.Mem); !ok {
-		return nil, fmt.Errorf("%s/%s: timing run diverged from functional reference at %#x", abbr, name, addr)
+		return nil, fmt.Errorf("%s: timing run diverged from functional reference at %#x", spec.Key(), addr)
 	}
 	if in.Check != nil {
 		if err := in.Check(c.Mem); err != nil {
-			return nil, fmt.Errorf("%s/%s: self-check: %w", abbr, name, err)
+			return nil, fmt.Errorf("%s: self-check: %w", spec.Key(), err)
 		}
 	}
-	res := &RunResult{Abbr: abbr, Config: name, Stats: *sys.Stats()}
+	res := &RunResult{Abbr: abbr, Config: spec.Config, Stats: *sys.Stats()}
 	res.Energy = energy.Compute(&res.Stats, cfg, energy.DefaultParams())
 	return res, nil
 }
@@ -348,12 +458,27 @@ func Abbrs() []string {
 	return out
 }
 
-// CachedRuns lists memoized run keys (diagnostics).
-func (r *Runner) CachedRuns() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// CacheStats reports how the session's completed runs were satisfied.
+func (s *Session) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CacheDir returns the persistent cache root ("" when disabled).
+func (s *Session) CacheDir() string {
+	if s.cache == nil {
+		return ""
+	}
+	return s.cache.Dir()
+}
+
+// CachedRuns lists memoized runs as "ABBR/config" keys (diagnostics).
+func (s *Session) CachedRuns() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var keys []string
-	for k := range r.runs {
+	for _, k := range s.runKeys {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+)
+
+// cacheSchemaVersion is bumped whenever the record layout (or the meaning
+// of any serialized statistic) changes; it is folded into the fingerprint
+// so old caches self-invalidate instead of deserializing garbage.
+const cacheSchemaVersion = "tomcache/v1"
+
+// BuildFingerprint identifies the producing build: the cache schema version
+// plus, when the binary carries VCS stamps, the revision and dirty flag.
+// Records whose fingerprint differs from the reading binary's are treated
+// as misses, so results from an older simulator never leak into new tables.
+func BuildFingerprint() string {
+	fp := cacheSchemaVersion
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision", "vcs.modified":
+				fp += ";" + s.Key + "=" + s.Value
+			}
+		}
+	}
+	return fp
+}
+
+// cacheRecord is the on-disk form of one cached run: the fingerprint gate,
+// a human-readable restatement of the spec (diagnostics — the digest in the
+// filename is the authoritative key), and the verified result.
+type cacheRecord struct {
+	Fingerprint string    `json:"fingerprint"`
+	Workload    string    `json:"workload"`
+	Scale       float64   `json:"scale"`
+	Config      string    `json:"config"`
+	Result      RunResult `json:"result"`
+}
+
+// DiskCache is the persistent result layer: one JSON record per run spec
+// digest under dir. It is safe for concurrent use by multiple goroutines
+// and multiple processes — writes go through a temp file + rename, and a
+// torn or foreign record degrades to a miss, never an error.
+type DiskCache struct {
+	dir         string
+	fingerprint string
+}
+
+// NewDiskCache opens (creating if needed on first Put) a cache rooted at
+// dir. fingerprint gates record validity; pass "" for BuildFingerprint().
+func NewDiskCache(dir, fingerprint string) *DiskCache {
+	if fingerprint == "" {
+		fingerprint = BuildFingerprint()
+	}
+	return &DiskCache{dir: dir, fingerprint: fingerprint}
+}
+
+// Dir returns the cache root.
+func (c *DiskCache) Dir() string { return c.dir }
+
+// path returns the record file for a digest.
+func (c *DiskCache) path(digest string) string {
+	return filepath.Join(c.dir, digest+".json")
+}
+
+// Get loads the cached result for a spec digest. A missing file, unreadable
+// record, or fingerprint mismatch is a miss (false); only unexpected I/O
+// failures surface as errors.
+func (c *DiskCache) Get(digest string) (*RunResult, bool, error) {
+	data, err := os.ReadFile(c.path(digest))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("cache: read %s: %w", digest, err)
+	}
+	var rec cacheRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false, nil // torn/corrupt record: recompute and overwrite
+	}
+	if rec.Fingerprint != c.fingerprint {
+		return nil, false, nil // stale build: self-invalidate
+	}
+	res := rec.Result
+	return &res, true, nil
+}
+
+// Put stores a verified result under the spec's digest. The write is
+// atomic (temp file + rename), so concurrent writers of the same digest
+// and readers in other processes always see a complete record.
+func (c *DiskCache) Put(spec RunSpec, res *RunResult) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	rec := cacheRecord{
+		Fingerprint: c.fingerprint,
+		Workload:    spec.Abbr,
+		Scale:       spec.Scale,
+		Config:      string(spec.Config),
+		Result:      *res,
+	}
+	data, err := json.MarshalIndent(&rec, "", " ")
+	if err != nil {
+		return fmt.Errorf("cache: encode %s: %w", spec.Key(), err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: write %s: %w", spec.Key(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: write %s: %w", spec.Key(), err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(spec.Digest())); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: commit %s: %w", spec.Key(), err)
+	}
+	return nil
+}

@@ -216,24 +216,37 @@ func (r *Runner) Fig9() (*Table, error) {
 // observers attached and returns per-interval metric snapshots — the
 // off-chip traffic breakdown over time rather than as end-of-run totals —
 // keyed "ABBR/config". interval is the sampling period in cycles (0 =
-// obs.DefaultSampleEvery).
+// obs.DefaultSampleEvery). The runs execute in parallel, each with a
+// scoped view of one shared registry (see ObsPolicy); every snapshot is
+// identical to what a serial run with a private registry would produce.
 func (r *Runner) Fig9Timeline(interval int64) (map[string]*obs.Snapshot, error) {
-	configs := []ConfigName{CfgBaseline}
-	for _, fc := range fig8Configs {
-		configs = append(configs, fc.cfg)
-	}
-	out := map[string]*obs.Snapshot{}
-	for _, cfg := range configs {
+	var pairs []Pair
+	for _, cfg := range append([]ConfigName{CfgBaseline}, fig9Configs()...) {
 		for _, abbr := range Abbrs() {
-			o := obs.New()
-			o.SampleEvery = interval
-			if _, err := r.RunObserved(abbr, cfg, o); err != nil {
-				return nil, err
-			}
-			out[abbr+"/"+string(cfg)] = o.Registry.Snapshot()
+			pairs = append(pairs, Pair{Abbr: abbr, Config: cfg})
 		}
 	}
+	snaps, err := r.WarmObserved(pairs, ObsPolicy{
+		Registry:    obs.NewRegistry(),
+		SampleEvery: interval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*obs.Snapshot, len(snaps))
+	for p, snap := range snaps {
+		out[p.Key()] = snap
+	}
 	return out, nil
+}
+
+// fig9Configs lists the four NDP policies of Figs. 8-10 as ConfigNames.
+func fig9Configs() []ConfigName {
+	var out []ConfigName
+	for _, fc := range fig8Configs {
+		out = append(out, fc.cfg)
+	}
+	return out
 }
 
 // Fig10 reproduces the energy comparison (normalized to baseline total).

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // flight deduplicates concurrent computations of the same key: the first
-// caller computes, later callers wait. Protected by Runner.mu.
+// caller computes, later callers wait. Protected by Session.mu.
 type flight struct {
 	done chan struct{}
 	err  error
@@ -16,17 +18,17 @@ type flight struct {
 
 // once runs fn for key exactly once across goroutines; concurrent callers
 // block until the first finishes. Results are communicated through the
-// Runner's memo maps (fn must store its own result under r.mu).
-func (r *Runner) once(key string, fn func() error) error {
-	r.mu.Lock()
-	if f, ok := r.inflight[key]; ok {
-		r.mu.Unlock()
+// Session's memo maps (fn must store its own result under s.mu).
+func (s *Session) once(key string, fn func() error) error {
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
 		<-f.done
 		return f.err
 	}
 	f := &flight{done: make(chan struct{})}
-	r.inflight[key] = f
-	r.mu.Unlock()
+	s.inflight[key] = f
+	s.mu.Unlock()
 
 	f.err = fn()
 	close(f.done)
@@ -39,11 +41,12 @@ type Pair struct {
 	Config ConfigName
 }
 
-// Warm executes the given runs in parallel (bounded by GOMAXPROCS),
-// populating the memo cache so subsequent Run calls return instantly.
-// Every failing (workload, configuration) pair is reported: the returned
-// error joins one wrapped error per failure.
-func (r *Runner) Warm(pairs []Pair) error {
+// Key returns the run identity ("ABBR/config").
+func (p Pair) Key() string { return p.Abbr + "/" + string(p.Config) }
+
+// forEachPair runs fn over pairs on a bounded worker pool and joins every
+// failure, reported in submission order so the message is deterministic.
+func forEachPair(pairs []Pair, fn func(Pair) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(pairs) {
 		workers = len(pairs)
@@ -60,7 +63,7 @@ func (r *Runner) Warm(pairs []Pair) error {
 		go func() {
 			defer wg.Done()
 			for p := range ch {
-				if _, err := r.Run(p.Abbr, p.Config); err != nil {
+				if err := fn(p); err != nil {
 					errMu.Lock()
 					errs[p] = err
 					errMu.Unlock()
@@ -76,14 +79,81 @@ func (r *Runner) Warm(pairs []Pair) error {
 	if len(errs) == 0 {
 		return nil
 	}
-	// Report in submission order so the joined message is deterministic.
 	var joined []error
 	for _, p := range pairs {
 		if err, ok := errs[p]; ok {
-			joined = append(joined, fmt.Errorf("warm %s/%s: %w", p.Abbr, p.Config, err))
+			joined = append(joined, fmt.Errorf("warm %s: %w", p.Key(), err))
 		}
 	}
 	return errors.Join(joined...)
+}
+
+// Warm executes the given runs in parallel (bounded by GOMAXPROCS),
+// populating the memo (and, when enabled, the persistent cache) so
+// subsequent Run calls return instantly. Every failing (workload,
+// configuration) pair is reported: the returned error joins one wrapped
+// error per failure.
+func (s *Session) Warm(pairs []Pair) error {
+	return forEachPair(pairs, func(p Pair) error {
+		_, err := s.Run(p.Abbr, p.Config)
+		return err
+	})
+}
+
+// ObsPolicy describes how a batch of observed runs shares one observability
+// surface: each run gets a scoped, label-prefixed view of Registry (its
+// metrics appear under "ABBR/config/..."), and trace events — optionally
+// sampled per kind — are stamped with the run label before reaching the
+// shared sink. This is what makes observed runs safe to execute in
+// parallel: the registry primitives are race-safe and the prefixes keep
+// concurrent runs from colliding on metric names.
+type ObsPolicy struct {
+	// Registry is the shared root registry. Required.
+	Registry *obs.Registry
+	// Trace, when non-nil, receives every run's lifecycle events (labeled,
+	// and sampled when TraceSample > 1). Must be safe for concurrent Emit.
+	Trace obs.EventSink
+	// SampleEvery is the metrics sampling interval in cycles (0 = default).
+	SampleEvery int64
+	// TraceSample keeps one trace event in every TraceSample per event
+	// kind per run (<= 1 keeps everything).
+	TraceSample int
+}
+
+// Observer builds the scoped observer for one run and returns it together
+// with the scoped registry view (whose Snapshot covers just this run).
+func (p *ObsPolicy) Observer(pair Pair) (*obs.Observer, *obs.Registry) {
+	scoped := p.Registry.Scoped(pair.Key() + "/")
+	o := &obs.Observer{Registry: scoped, SampleEvery: p.SampleEvery}
+	if p.Trace != nil {
+		var sink obs.EventSink = obs.NewLabelSink(p.Trace, pair.Key())
+		if p.TraceSample > 1 {
+			sink = obs.NewSamplingSink(sink, p.TraceSample)
+		}
+		o.Trace = sink
+	}
+	return o, scoped
+}
+
+// WarmObserved executes the given runs in parallel, each with a scoped
+// observer onto the policy's shared registry, and returns each run's
+// scoped metrics snapshot. Like RunObserved, results are verified but not
+// memoized. Failures are joined as in Warm; snapshots of failed runs are
+// absent from the result.
+func (s *Session) WarmObserved(pairs []Pair, policy ObsPolicy) (map[Pair]*obs.Snapshot, error) {
+	out := make(map[Pair]*obs.Snapshot, len(pairs))
+	var outMu sync.Mutex
+	err := forEachPair(pairs, func(p Pair) error {
+		o, scoped := policy.Observer(p)
+		if _, err := s.RunObserved(p.Abbr, p.Config, o); err != nil {
+			return err
+		}
+		outMu.Lock()
+		out[p] = scoped.Snapshot()
+		outMu.Unlock()
+		return nil
+	})
+	return out, err
 }
 
 // FullMatrix lists every (workload, configuration) pair the complete

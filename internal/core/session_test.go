@@ -1,0 +1,218 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSpecDigestStability: digests must be deterministic, distinguish
+// every axis of the spec (workload, scale, config name, resolved simulator
+// parameters), and ignore runtime-only attachments.
+func TestRunSpecDigestStability(t *testing.T) {
+	sp, err := NewRunSpec("SP", 0.3, CfgCtrlTmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Digest() != sp.Digest() {
+		t.Fatal("digest is not deterministic")
+	}
+	again, _ := NewRunSpec("SP", 0.3, CfgCtrlTmap)
+	if sp.Digest() != again.Digest() {
+		t.Fatal("identical specs must digest identically")
+	}
+	if sp.Key() != "SP/ctrl-tmap" {
+		t.Errorf("key = %q", sp.Key())
+	}
+
+	diff := []RunSpec{}
+	for _, mk := range []func() (RunSpec, error){
+		func() (RunSpec, error) { return NewRunSpec("BFS", 0.3, CfgCtrlTmap) }, // workload
+		func() (RunSpec, error) { return NewRunSpec("SP", 0.31, CfgCtrlTmap) }, // scale
+		func() (RunSpec, error) { return NewRunSpec("SP", 0.3, CfgCtrlBmap) },  // config name
+		func() (RunSpec, error) { // resolved sim.Config field flipped directly
+			s, err := NewRunSpec("SP", 0.3, CfgCtrlTmap)
+			s.Cfg.L2Lat++
+			return s, err
+		},
+	} {
+		d, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff = append(diff, d)
+	}
+	seen := map[string]string{sp.Digest(): sp.Key()}
+	for _, d := range diff {
+		dg := d.Digest()
+		if prev, dup := seen[dg]; dup {
+			t.Errorf("digest collision between %s and %s", prev, d.Key())
+		}
+		seen[dg] = d.Key()
+	}
+
+	if _, err := NewRunSpec("SP", 0.3, "bogus"); err == nil {
+		t.Error("unknown config must not produce a spec")
+	}
+}
+
+// TestDiskCacheRoundTrip: put/get round-trips the exact result; missing
+// digests, corrupt records, and foreign fingerprints miss without error.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewDiskCache(dir, "fp-A")
+	spec, _ := NewRunSpec("SP", 0.25, CfgBaseline)
+	res := &RunResult{Abbr: "SP", Config: CfgBaseline}
+	res.Stats.Cycles = 12345
+	res.Stats.OffloadsSent = 7
+	res.Energy.DRAM = 0.125
+
+	if _, ok, err := c.Get(spec.Digest()); ok || err != nil {
+		t.Fatalf("empty cache: ok=%v err=%v", ok, err)
+	}
+	if err := c.Put(spec, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(spec.Digest())
+	if err != nil || !ok {
+		t.Fatalf("get after put: ok=%v err=%v", ok, err)
+	}
+	if *got != *res {
+		t.Errorf("round trip mutated the result: %+v vs %+v", got, res)
+	}
+
+	// A different fingerprint must self-invalidate the record.
+	stale := NewDiskCache(dir, "fp-B")
+	if _, ok, _ := stale.Get(spec.Digest()); ok {
+		t.Error("fingerprint mismatch must be a miss")
+	}
+
+	// A corrupt record degrades to a miss, not an error.
+	if err := os.WriteFile(filepath.Join(dir, spec.Digest()+".json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(spec.Digest()); ok || err != nil {
+		t.Errorf("corrupt record: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestSessionColdThenWarm is the acceptance test for the persistent layer:
+// a second session over the same cache directory replays every run without
+// simulating, results are identical, and flipping either the build
+// fingerprint or any simulator parameter forces a fresh simulation.
+func TestSessionColdThenWarm(t *testing.T) {
+	dir := t.TempDir()
+	const scale = 0.05
+
+	cold := NewSession(Options{Scale: scale, CacheDir: dir, Fingerprint: "build-1"})
+	a, err := cold.Run("LIB", CfgCtrlBmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.CacheStats(); st.Simulated != 1 || st.DiskHits != 0 {
+		t.Fatalf("cold session stats = %+v", st)
+	}
+	// Same session, same spec: in-memory memo.
+	if _, err := cold.Run("LIB", CfgCtrlBmap); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.CacheStats(); st.MemoHits != 1 {
+		t.Fatalf("memo layer missed: %+v", st)
+	}
+
+	warm := NewSession(Options{Scale: scale, CacheDir: dir, Fingerprint: "build-1"})
+	b, err := warm.Run("LIB", CfgCtrlBmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.CacheStats(); st.DiskHits != 1 || st.Simulated != 0 {
+		t.Fatalf("warm session must replay from disk: %+v", st)
+	}
+	if *a != *b {
+		t.Errorf("replayed result differs:\ncold %+v\nwarm %+v", a, b)
+	}
+
+	// A new build fingerprint invalidates every record.
+	rebuilt := NewSession(Options{Scale: scale, CacheDir: dir, Fingerprint: "build-2"})
+	if _, err := rebuilt.Run("LIB", CfgCtrlBmap); err != nil {
+		t.Fatal(err)
+	}
+	if st := rebuilt.CacheStats(); st.Simulated != 1 || st.DiskHits != 0 {
+		t.Fatalf("stale fingerprint must simulate: %+v", st)
+	}
+
+	// A different scale is a different spec — no false sharing.
+	rescaled := NewSession(Options{Scale: scale * 2, CacheDir: dir, Fingerprint: "build-1"})
+	if _, err := rescaled.Run("LIB", CfgCtrlBmap); err != nil {
+		t.Fatal(err)
+	}
+	if st := rescaled.CacheStats(); st.Simulated != 1 {
+		t.Fatalf("different scale must miss: %+v", st)
+	}
+
+	// Cache files are keyed by digest.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".json") {
+			names++
+		}
+	}
+	// build-1 wrote LIB@0.05 and LIB@0.1; build-2 overwrote LIB@0.05.
+	if names != 2 {
+		t.Errorf("cache holds %d records, want 2: %v", names, ents)
+	}
+}
+
+// TestSessionWithoutCacheDir: the persistent layer stays disabled unless
+// asked for — no .tomcache directory appears as a test side effect.
+func TestSessionWithoutCacheDir(t *testing.T) {
+	s := NewSession(Options{Scale: 0.05})
+	if s.CacheDir() != "" {
+		t.Fatalf("cache dir = %q, want disabled", s.CacheDir())
+	}
+	if _, err := s.Run("LIB", CfgBaseline); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Simulated != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWarmPopulatesDiskCache: a warmed matrix must be fully replayable by a
+// later session — the CI cold-then-warm smoke job in .github/workflows
+// asserts the same property end-to-end through cmd/tomx.
+func TestWarmPopulatesDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	pairs := []Pair{
+		{Abbr: "LIB", Config: CfgBaseline},
+		{Abbr: "LIB", Config: CfgCtrlTmap},
+		{Abbr: "SP", Config: CfgBaseline},
+		{Abbr: "SP", Config: CfgCtrlTmap},
+	}
+	cold := NewSession(Options{Scale: 0.05, CacheDir: dir, Fingerprint: "fp"})
+	if err := cold.Warm(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.CacheStats(); st.Simulated != uint64(len(pairs)) {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	warm := NewSession(Options{Scale: 0.05, CacheDir: dir, Fingerprint: "fp"})
+	if err := warm.Warm(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.CacheStats(); st.DiskHits != uint64(len(pairs)) || st.Simulated != 0 {
+		t.Fatalf("warm pass must be a pure replay: %+v", st)
+	}
+	for _, p := range pairs {
+		a, _ := cold.Run(p.Abbr, p.Config)
+		b, _ := warm.Run(p.Abbr, p.Config)
+		if *a != *b {
+			t.Errorf("%s: replay differs", p.Key())
+		}
+	}
+}

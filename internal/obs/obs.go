@@ -60,6 +60,9 @@ func (o *Observer) Emit(ev Event) {
 type Event struct {
 	Cycle int64  `json:"cycle"`
 	Kind  string `json:"kind"`
+	// Run labels the originating run ("ABBR/config") when several runs
+	// share one sink (see LabelSink); empty for single-run traces.
+	Run string `json:"run,omitempty"`
 	// SM is the emitting streaming multiprocessor's global id.
 	SM int `json:"sm,omitempty"`
 	// Stack is the memory stack involved (destination for offloads).

@@ -90,7 +90,7 @@ func TestSeriesConcurrentAdd(t *testing.T) {
 // TestSeriesBucketing pins the bucket-index arithmetic, including the
 // negative-cycle guard.
 func TestSeriesBucketing(t *testing.T) {
-	s := (&Registry{series: map[string]*Series{}}).Series("s", 10)
+	s := NewRegistry().Series("s", 10)
 	s.Add(-5, 1) // clamped to bucket 0
 	s.Add(0, 1)
 	s.Add(9, 1)

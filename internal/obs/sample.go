@@ -1,0 +1,70 @@
+package obs
+
+import "sync"
+
+// LabelSink stamps every event with a run label before forwarding it, so
+// several concurrent runs can share one trace sink and the merged stream
+// stays attributable. Safe for concurrent Emit when the inner sink is.
+type LabelSink struct {
+	inner EventSink
+	run   string
+}
+
+// NewLabelSink wraps inner, setting Event.Run to run on every event.
+func NewLabelSink(inner EventSink, run string) *LabelSink {
+	return &LabelSink{inner: inner, run: run}
+}
+
+// Emit forwards the event with the run label applied.
+func (s *LabelSink) Emit(ev Event) {
+	ev.Run = s.run
+	s.inner.Emit(ev)
+}
+
+// SamplingSink forwards one event in every n per event kind (always the
+// first of each kind) and drops the rest, bounding trace volume on long
+// full-scale runs while keeping every lifecycle step represented. n <= 1
+// forwards everything. Safe for concurrent Emit.
+type SamplingSink struct {
+	inner EventSink
+	n     uint64
+
+	mu      sync.Mutex
+	seen    map[string]uint64
+	dropped uint64
+}
+
+// NewSamplingSink wraps inner, keeping every nth event of each kind.
+func NewSamplingSink(inner EventSink, n int) *SamplingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &SamplingSink{inner: inner, n: uint64(n), seen: map[string]uint64{}}
+}
+
+// Emit forwards the event when its kind's counter lands on a sampling
+// point; otherwise the event is counted as dropped.
+func (s *SamplingSink) Emit(ev Event) {
+	if s.n <= 1 {
+		s.inner.Emit(ev)
+		return
+	}
+	s.mu.Lock()
+	c := s.seen[ev.Kind]
+	s.seen[ev.Kind] = c + 1
+	keep := c%s.n == 0
+	if !keep {
+		s.dropped++
+	}
+	s.mu.Unlock()
+	if keep {
+		s.inner.Emit(ev)
+	}
+}
+
+// Dropped returns how many events were suppressed so far.
+func (s *SamplingSink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestScopedRegistrySharesStore: scoped views resolve into the root store
+// under prefixed names, and the same scoped name yields the same handle.
+func TestScopedRegistrySharesStore(t *testing.T) {
+	root := NewRegistry()
+	a := root.Scoped("runA/")
+	b := root.Scoped("runB/")
+
+	a.Counter("offload.sent").Add(3)
+	b.Counter("offload.sent").Add(5)
+
+	if got := root.Counter("runA/offload.sent").Value(); got != 3 {
+		t.Errorf("root sees runA counter = %d, want 3", got)
+	}
+	if got := root.Counter("runB/offload.sent").Value(); got != 5 {
+		t.Errorf("root sees runB counter = %d, want 5", got)
+	}
+	if a.Counter("offload.sent") != root.Counter("runA/offload.sent") {
+		t.Error("scoped and root lookups must return the same handle")
+	}
+	if a.Counter("offload.sent") == b.Counter("offload.sent") {
+		t.Error("different scopes must not collide")
+	}
+	if got := a.Scoped("x/").Prefix(); got != "runA/x/" {
+		t.Errorf("nested prefix = %q, want runA/x/", got)
+	}
+}
+
+// TestScopedSnapshotStripsPrefix: a scoped view's snapshot must contain
+// exactly its own metrics under their local names — identical to what a
+// private registry would have produced for that run.
+func TestScopedSnapshotStripsPrefix(t *testing.T) {
+	root := NewRegistry()
+	a := root.Scoped("LIB/ctrl-tmap/")
+	b := root.Scoped("BFS/ctrl-tmap/")
+
+	a.Counter("offload.sent").Add(7)
+	a.Gauge("depth").Set(2)
+	a.Series("traffic.gpu_tx_bytes", 128).Add(100, 42)
+	b.Counter("offload.sent").Add(9)
+
+	snap := a.Snapshot()
+	if got := snap.Counters["offload.sent"]; got != 7 {
+		t.Errorf("scoped snapshot counter = %d, want 7", got)
+	}
+	if len(snap.Counters) != 1 || len(snap.Gauges) != 1 || len(snap.Series) != 1 {
+		t.Errorf("scoped snapshot leaked foreign metrics: %+v", snap)
+	}
+	if got := snap.Series["traffic.gpu_tx_bytes"].Values[0]; got != 42 {
+		t.Errorf("scoped series value = %v, want 42", got)
+	}
+
+	rootSnap := root.Snapshot()
+	if got := rootSnap.Counters["LIB/ctrl-tmap/offload.sent"]; got != 7 {
+		t.Errorf("root snapshot misses prefixed counter: %v", rootSnap.Counters)
+	}
+	if len(rootSnap.Counters) != 2 {
+		t.Errorf("root snapshot counters = %v, want both runs", rootSnap.Counters)
+	}
+
+	names := a.Names()
+	if len(names) != 3 {
+		t.Errorf("scoped names = %v, want 3 local names", names)
+	}
+	for _, n := range names {
+		if strings.HasPrefix(n, "LIB/") {
+			t.Errorf("scoped name %q still carries the prefix", n)
+		}
+	}
+}
+
+// TestScopedRegistryConcurrent: many scopes hammering one store must not
+// race or lose updates (run under -race in CI).
+func TestScopedRegistryConcurrent(t *testing.T) {
+	root := NewRegistry()
+	const scopes, per = 8, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < scopes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := root.Scoped(fmt.Sprintf("run%d/", i))
+			c := sc.Counter("offload.sent")
+			s := sc.Series("traffic", 64)
+			for j := 0; j < per; j++ {
+				c.Inc()
+				s.Add(int64(j), 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < scopes; i++ {
+		sc := root.Scoped(fmt.Sprintf("run%d/", i))
+		if got := sc.Counter("offload.sent").Value(); got != per {
+			t.Errorf("scope %d counter = %d, want %d", i, got, per)
+		}
+		if got := sc.Series("traffic", 64).Sum(); got != per {
+			t.Errorf("scope %d series sum = %v, want %d", i, got, per)
+		}
+	}
+	if got := len(root.Names()); got != 2*scopes {
+		t.Errorf("root names = %d, want %d", got, 2*scopes)
+	}
+}
+
+// TestLabelSink: every forwarded event must carry the run label.
+func TestLabelSink(t *testing.T) {
+	var inner CollectSink
+	s := NewLabelSink(&inner, "LIB/ctrl-tmap")
+	s.Emit(Event{Cycle: 1, Kind: EvSend})
+	s.Emit(Event{Cycle: 2, Kind: EvAck, Run: "overwritten"})
+	evs := inner.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Run != "LIB/ctrl-tmap" {
+			t.Errorf("event run = %q, want LIB/ctrl-tmap", ev.Run)
+		}
+	}
+}
+
+// TestSamplingSinkPerKind: sampling must be per kind (rare kinds survive a
+// flood of common ones), keep the first event of each kind, and count drops.
+func TestSamplingSinkPerKind(t *testing.T) {
+	var inner CollectSink
+	s := NewSamplingSink(&inner, 10)
+	for i := 0; i < 100; i++ {
+		s.Emit(Event{Cycle: int64(i), Kind: EvSend})
+	}
+	s.Emit(Event{Cycle: 999, Kind: EvLearnEnd})
+	if got := inner.CountKind(EvSend); got != 10 {
+		t.Errorf("send events kept = %d, want 10", got)
+	}
+	if got := inner.CountKind(EvLearnEnd); got != 1 {
+		t.Errorf("rare kind must survive sampling, kept %d", got)
+	}
+	if got := s.Dropped(); got != 90 {
+		t.Errorf("dropped = %d, want 90", got)
+	}
+	// The first event of a kind is always kept.
+	if evs := inner.Events(); evs[0].Cycle != 0 {
+		t.Errorf("first kept event cycle = %d, want 0", evs[0].Cycle)
+	}
+}
+
+// TestSamplingSinkPassthrough: n <= 1 must forward everything.
+func TestSamplingSinkPassthrough(t *testing.T) {
+	var inner CollectSink
+	s := NewSamplingSink(&inner, 0)
+	for i := 0; i < 5; i++ {
+		s.Emit(Event{Kind: EvGate})
+	}
+	if got := inner.CountKind(EvGate); got != 5 {
+		t.Errorf("passthrough kept %d, want 5", got)
+	}
+	if s.Dropped() != 0 {
+		t.Errorf("passthrough dropped %d, want 0", s.Dropped())
+	}
+}

@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// Canonical renders every model parameter of the configuration as a
+// deterministic "Name=value;" string — the basis of the evaluation layer's
+// run-spec digests (internal/core). Fields are emitted in declaration order
+// so adding a parameter automatically changes the canonical form (and
+// therefore invalidates cached results that depended on its default), while
+// runtime-only attachments (the Observer hook, and any future pointer or
+// function field) are excluded: they never affect measured statistics.
+func (c Config) Canonical() string {
+	var sb strings.Builder
+	v := reflect.ValueOf(c)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		switch t.Field(i).Type.Kind() {
+		case reflect.Pointer, reflect.Func, reflect.Interface, reflect.Chan:
+			continue
+		}
+		fmt.Fprintf(&sb, "%s=%v;", t.Field(i).Name, v.Field(i).Interface())
+	}
+	return sb.String()
+}

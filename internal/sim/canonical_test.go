@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCanonicalCoversEveryParameter: every non-runtime Config field must
+// appear in the canonical string, so no parameter can silently stop
+// participating in cache invalidation.
+func TestCanonicalCoversEveryParameter(t *testing.T) {
+	c := DefaultConfig()
+	s := c.Canonical()
+	typ := reflect.TypeOf(c)
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Name == "Observer" {
+			if strings.Contains(s, "Observer=") {
+				t.Error("canonical form must exclude the Observer hook")
+			}
+			continue
+		}
+		if !strings.Contains(s, f.Name+"=") {
+			t.Errorf("canonical form omits field %s", f.Name)
+		}
+	}
+}
+
+// TestCanonicalDistinguishesConfigs: changing any parameter must change the
+// canonical form; attaching an observer must not.
+func TestCanonicalDistinguishesConfigs(t *testing.T) {
+	base := DefaultConfig()
+	if base.Canonical() != DefaultConfig().Canonical() {
+		t.Fatal("canonical form is not deterministic")
+	}
+	if base.Canonical() == BaselineConfig().Canonical() {
+		t.Error("baseline and TOM configs must differ")
+	}
+	mod := base
+	mod.CrossStackBW *= 0.25
+	if mod.Canonical() == base.Canonical() {
+		t.Error("float field change must alter the canonical form")
+	}
+	mod2 := base
+	mod2.Coherence = false
+	if mod2.Canonical() == base.Canonical() {
+		t.Error("bool field change must alter the canonical form")
+	}
+	observed := base
+	observed.Observer = obs.New()
+	if observed.Canonical() != base.Canonical() {
+		t.Error("attaching an observer must not alter the canonical form")
+	}
+}
+
+// TestDrainError pins the drain-correctness check: clean stats pass, while
+// in-flight offloads or a sent/ack mismatch fail with a descriptive error.
+func TestDrainError(t *testing.T) {
+	ok := Stats{OffloadsSent: 10, OffloadsAcked: 10}
+	if err := ok.DrainError(); err != nil {
+		t.Errorf("clean stats must drain: %v", err)
+	}
+	stuck := Stats{OffloadsSent: 10, OffloadsAcked: 9, InFlightOffloads: 1}
+	if err := stuck.DrainError(); err == nil || !strings.Contains(err.Error(), "in flight") {
+		t.Errorf("in-flight offloads must fail: %v", err)
+	}
+	mismatch := Stats{OffloadsSent: 10, OffloadsAcked: 9}
+	if err := mismatch.DrainError(); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("sent/ack mismatch must fail: %v", err)
+	}
+}

@@ -247,6 +247,7 @@ func (sys *System) sendOffloadAck(sw *smWarp, now int64) {
 	if sys.cfg.Coherence {
 		ackBytes += len(job.dirty) * dirtyAddrBytes
 	}
+	sys.stats.OffloadsAcked++
 	if ob := sys.ob; ob != nil {
 		ob.acks.Inc()
 		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvAck, SM: sm.id, Stack: job.dest,

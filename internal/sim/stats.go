@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Stats aggregates everything the paper's figures report.
 type Stats struct {
 	Cycles int64
@@ -21,6 +23,8 @@ type Stats struct {
 	// --- Offloading ---
 	CandidateInstances   uint64 // candidate region entries seen on main SMs
 	OffloadsSent         uint64
+	OffloadsAcked        uint64 // offload acks queued by stack SMs
+	InFlightOffloads     int    // offloads still pending at exit (0 at true quiescence)
 	OffloadsSkippedBusy  uint64 // channel-busy gate
 	OffloadsSkippedFull  uint64 // pending-per-stack gate
 	OffloadsSkippedCond  uint64 // conditional threshold not met
@@ -55,6 +59,23 @@ func (s *Stats) IPC() float64 {
 // GPU↔memory plus memory↔memory channels).
 func (s *Stats) OffChipBytes() uint64 {
 	return s.GPUTXBytes + s.GPURXBytes + s.CrossBytes
+}
+
+// DrainError reports a drain-correctness violation at what should be
+// quiescence: offloads still in flight at exit, or a sent/ack mismatch. A
+// healthy run returns nil — the run loop only terminates once every pending
+// offload has drained, so a non-nil result means the quiescence detector and
+// the offload controller disagree about outstanding work.
+func (s *Stats) DrainError() error {
+	if s.InFlightOffloads != 0 {
+		return fmt.Errorf("sim: %d offloads still in flight at exit (sent %d, acked %d)",
+			s.InFlightOffloads, s.OffloadsSent, s.OffloadsAcked)
+	}
+	if s.OffloadsAcked != s.OffloadsSent {
+		return fmt.Errorf("sim: offload drain mismatch at exit: %d sent, %d acked",
+			s.OffloadsSent, s.OffloadsAcked)
+	}
+	return nil
 }
 
 // OffloadedInstrFraction returns the share of thread instructions executed

@@ -59,6 +59,10 @@ func TestObserverMatchesStats(t *testing.T) {
 	if st.OffloadsSent == 0 {
 		t.Fatal("run must offload for the lifecycle check to mean anything")
 	}
+	if st.OffloadsAcked != st.OffloadsSent || st.InFlightOffloads != 0 {
+		t.Fatalf("drain invariant broken at quiescence: sent=%d acked=%d inflight=%d",
+			st.OffloadsSent, st.OffloadsAcked, st.InFlightOffloads)
+	}
 
 	reg := o.Registry
 	seriesSum := func(name string) uint64 {
@@ -83,7 +87,7 @@ func TestObserverMatchesStats(t *testing.T) {
 	}{
 		{"offload.candidates", st.CandidateInstances},
 		{"offload.sent", st.OffloadsSent},
-		{"offload.acks", st.OffloadsSent}, // every sent offload acks exactly once
+		{"offload.acks", st.OffloadsAcked}, // mirrors Stats.OffloadsAcked exactly
 		{"offload.spawns", st.OffloadsSent},
 		{"offload.skipped_busy", st.OffloadsSkippedBusy},
 		{"offload.skipped_full", st.OffloadsSkippedFull},

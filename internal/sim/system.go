@@ -297,7 +297,11 @@ func (sys *System) RunWithTrace(launches []exec.Launch, trace func(now int64)) e
 		sys.endLearning()
 	}
 	sys.finalizeStats()
-	return nil
+	// Drain-correctness check: quiescence must mean every offload round
+	// trip completed. A violation is a simulator bug (or a premature exit),
+	// not a property of the workload — fail loudly instead of returning
+	// silently-wrong statistics.
+	return sys.stats.DrainError()
 }
 
 func (sys *System) runLaunch(l exec.Launch) error {
@@ -429,6 +433,10 @@ func (sys *System) finalizeStats() {
 		}
 	}
 	st.PCIeBytes = sys.pcieTX.BytesSent + sys.pcieRX.BytesSent
+	st.InFlightOffloads = 0
+	for _, p := range sys.pendingOffloads {
+		st.InFlightOffloads += p
+	}
 	for _, stk := range sys.stacks {
 		for _, v := range stk.vaults {
 			st.DRAMActivations += v.Activations

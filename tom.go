@@ -81,8 +81,23 @@ func Run(abbr string, system System, scale float64) (*Result, error) {
 
 // NewRunner returns an experiment runner that memoizes runs and profiles
 // across configurations — use it (rather than repeated Run calls) when
-// comparing several systems on the same workloads.
+// comparing several systems on the same workloads. It is a Session with
+// only the in-memory layer enabled; see NewSession for persistence.
 func NewRunner(scale float64) *core.Runner { return core.NewRunner(scale) }
+
+// SessionOptions configures a run session: problem scale, the optional
+// persistent result cache (CacheDir/Fingerprint), and a progress callback.
+type SessionOptions = core.Options
+
+// Session is a run pipeline that memoizes results in memory, optionally
+// persists them under SessionOptions.CacheDir keyed by run-spec digest and
+// build fingerprint (see docs/RUNCACHE.md), and supports parallel observed
+// runs over one shared metrics registry.
+type Session = core.Session
+
+// NewSession returns a Session. With a zero CacheDir it behaves exactly
+// like NewRunner(opts.Scale).
+func NewSession(opts SessionOptions) *Session { return core.NewSession(opts) }
 
 // Experiment reproduces one of the paper's figures/tables by ID: "fig2",
 // "fig3", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
