@@ -5,6 +5,7 @@
 //	tomsim -workload LIB -cache                       # replay from .tomcache/
 //	tomsim -workload LIB -trace out.jsonl -metrics out.json
 //	tomsim -workload LIB -trace out.jsonl -trace-sample 64
+//	tomsim -workload LIB -adapt                       # profile -> refine -> rerun
 //	tomsim -list
 //
 // -trace streams the offload lifecycle (candidate → gate/send → spawn →
@@ -15,6 +16,13 @@
 // docs/OBSERVABILITY.md for both schemas. -cache persists and replays
 // plain (unobserved) runs under -cache-dir; observed runs always execute,
 // since only an execution can produce time series.
+//
+// -adapt runs the adaptive session: a reduced-scale profiling pass records
+// each candidate's per-PC gate decisions, the compiler demotes candidates
+// the runtime (almost) always gated and re-tags the bandwidth hint from
+// observed trip counts, and the full run executes with the refined set.
+// Adaptive runs cache under their own spec digest. -adapt is incompatible
+// with -trace/-metrics (observe the static run instead).
 package main
 
 import (
@@ -41,7 +49,12 @@ func main() {
 	cache := flag.Bool("cache", false, "persist and replay verified results under -cache-dir")
 	noCache := flag.Bool("no-cache", false, "force-disable the persistent result cache")
 	cacheDir := flag.String("cache-dir", ".tomcache", "persistent result cache directory")
+	adapt := flag.Bool("adapt", false, "profile gate decisions, refine candidate marking, rerun")
 	flag.Parse()
+
+	if *adapt && (*tracePath != "" || *metricsPath != "") {
+		fatal(fmt.Errorf("-adapt is incompatible with -trace/-metrics"))
+	}
 
 	if *list {
 		fmt.Println("workloads:")
@@ -85,9 +98,21 @@ func main() {
 		}
 	}
 
-	res, err := s.RunObserved(*workload, core.ConfigName(*config), observer)
-	if err != nil {
-		fatal(err)
+	var res *tom.Result
+	var adaptive *tom.AdaptiveRun
+	if *adapt {
+		ad, err := s.RunAdaptive(*workload, core.ConfigName(*config), tom.AdaptOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		adaptive = ad
+		res = ad.Result
+	} else {
+		r, err := s.RunObserved(*workload, core.ConfigName(*config), observer)
+		if err != nil {
+			fatal(err)
+		}
+		res = r
 	}
 	if sink != nil {
 		if err := sink.Flush(); err != nil {
@@ -117,10 +142,10 @@ func main() {
 	fmt.Printf("thread instrs  %d (%.1f%% on stack SMs)\n", st.ThreadInstrs, st.OffloadedInstrFraction()*100)
 	fmt.Printf("off-chip bytes %d (RX %d, TX %d, mem-mem %d)\n",
 		st.OffChipBytes(), st.GPURXBytes, st.GPUTXBytes, st.CrossBytes)
-	fmt.Printf("offloads       %d sent, %d acked, %d skipped (busy %d / full %d / cond %d)\n",
-		st.OffloadsSent, st.OffloadsAcked,
-		st.OffloadsSkippedBusy+st.OffloadsSkippedFull+st.OffloadsSkippedCond,
-		st.OffloadsSkippedBusy, st.OffloadsSkippedFull, st.OffloadsSkippedCond)
+	fmt.Printf("offloads       %d sent, %d acked, %d skipped (busy %d / full %d / cond %d / alu %d / nodest %d)\n",
+		st.OffloadsSent, st.OffloadsAcked, st.OffloadsSkipped(),
+		st.OffloadsSkippedBusy, st.OffloadsSkippedFull, st.OffloadsSkippedCond,
+		st.OffloadsSkippedALU, st.OffloadsSkippedNoDest)
 	fmt.Printf("caches         L1 %.1f%%, L2 %.1f%%, stack L1 %.1f%%\n",
 		hitPct(st.L1Hits, st.L1Misses), hitPct(st.L2Hits, st.L2Misses), hitPct(st.StackL1Hits, st.StackL1Misses))
 	fmt.Printf("DRAM           %d activations, %.1f%% row hits\n",
@@ -130,6 +155,19 @@ func main() {
 	if st.LearnCycles > 0 {
 		fmt.Printf("tmap learning  bit %d from %d instances in %d cycles; %d bytes re-mapped\n",
 			st.LearnedBit, st.LearnInstances, st.LearnCycles, st.CopiedBytes)
+	}
+	if adaptive != nil {
+		p := &adaptive.Profile.Stats
+		fmt.Printf("adaptive       profile: %d candidate entries, %d gated; refined: %d demoted, %d re-tagged\n",
+			p.CandidateInstances, p.OffloadsSkipped(), st.RefineDemoted, st.RefineRetagged)
+		for _, pc := range p.PCStats.PCs() {
+			g := p.PCStats[pc]
+			if g.Decisions() == 0 {
+				continue
+			}
+			fmt.Printf("               pc %-5d gated %5.1f%% (%d/%d decisions, mean trips %.0f)\n",
+				pc, g.GateRate()*100, g.Gated(), g.Decisions(), g.MeanTrips())
+		}
 	}
 	if *compare && res.Config != tom.Baseline {
 		base, err := s.Run(*workload, tom.Baseline)

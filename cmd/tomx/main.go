@@ -4,6 +4,7 @@
 //	tomx -exp fig8 -scale 0.5             # one experiment
 //	tomx -exp fig8 -cache                 # reuse .tomcache/ results across runs
 //	tomx -exp fig9 -metrics fig9.json     # plus the time-resolved traffic export
+//	tomx -exp adapt                       # static vs. gate-feedback-refined control
 //	tomx -markdown                        # emit EXPERIMENTS.md-style markdown
 //
 // With -cache, verified results persist under -cache-dir keyed by run-spec

@@ -1,0 +1,171 @@
+package compiler
+
+import "sort"
+
+// This file closes the loop between the dynamic aggressiveness control
+// (§3.3) and the static cost model (§3.1): the simulator attributes every
+// gate decision to the candidate's start PC in a GateProfile, and Refine
+// feeds that profile back into the offloading metadata table — demoting
+// candidates the hardware gates essentially always, and re-deriving the
+// 2-bit SavesTX/SavesRX tag from observed rather than assumed trip counts.
+// It mirrors the learning-phase philosophy of §3.2: observe a small prefix
+// of the execution, then commit to a better decision.
+
+// GateStats accumulates the fate of every dynamic entry into one candidate
+// region. Sent plus the Skipped* counters partition the post-learning
+// entries; LearnEntries counts entries consumed by the tmap learning phase
+// (the warp executes inline while the mapping analyzer observes).
+type GateStats struct {
+	Sent          uint64 `json:"sent,omitempty"`
+	SkippedCond   uint64 `json:"skipped_cond,omitempty"`
+	SkippedBusy   uint64 `json:"skipped_busy,omitempty"`
+	SkippedFull   uint64 `json:"skipped_full,omitempty"`
+	SkippedALU    uint64 `json:"skipped_alu,omitempty"`
+	SkippedNoDest uint64 `json:"skipped_nodest,omitempty"`
+	LearnEntries  uint64 `json:"learn_entries,omitempty"`
+
+	// TripSum/TripObs accumulate the leader-lane trip counts the Offload
+	// Controller evaluates at region entry (§4.2 step 1), observed for
+	// every conditional-hinted candidate regardless of the gate outcome.
+	TripSum uint64 `json:"trip_sum,omitempty"`
+	TripObs uint64 `json:"trip_obs,omitempty"`
+}
+
+// CountSkip records one gated entry under the simulator's reason string.
+func (g *GateStats) CountSkip(reason string) {
+	switch reason {
+	case "cond":
+		g.SkippedCond++
+	case "busy":
+		g.SkippedBusy++
+	case "full":
+		g.SkippedFull++
+	case "alu":
+		g.SkippedALU++
+	case "nodest":
+		g.SkippedNoDest++
+	}
+}
+
+// Gated sums the entries suppressed by any gate.
+func (g *GateStats) Gated() uint64 {
+	return g.SkippedCond + g.SkippedBusy + g.SkippedFull + g.SkippedALU + g.SkippedNoDest
+}
+
+// Decisions counts entries that reached the offload decision (sent or
+// gated); learning-phase entries are excluded because no decision was made.
+func (g *GateStats) Decisions() uint64 {
+	return g.Sent + g.Gated()
+}
+
+// GateRate is the fraction of decisions that were gated (0 with none).
+func (g *GateStats) GateRate() float64 {
+	d := g.Decisions()
+	if d == 0 {
+		return 0
+	}
+	return float64(g.Gated()) / float64(d)
+}
+
+// MeanTrips is the average observed trip count (0 with no observations).
+func (g *GateStats) MeanTrips() float64 {
+	if g.TripObs == 0 {
+		return 0
+	}
+	return float64(g.TripSum) / float64(g.TripObs)
+}
+
+// GateProfile maps a candidate's StartPC to its observed gate statistics.
+// When a workload launches several kernels, candidates sharing a start PC
+// share an entry; the table is a per-run aggregate, like the hardware's
+// per-PC saturating counters would be.
+type GateProfile map[int]*GateStats
+
+// At returns (allocating if needed) the stats bucket for one start PC.
+func (p GateProfile) At(pc int) *GateStats {
+	g := p[pc]
+	if g == nil {
+		g = &GateStats{}
+		p[pc] = g
+	}
+	return g
+}
+
+// PCs lists the profiled start PCs in ascending order.
+func (p GateProfile) PCs() []int {
+	pcs := make([]int, 0, len(p))
+	for pc := range p {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	return pcs
+}
+
+// RefineParams tune the feedback pass.
+type RefineParams struct {
+	// DemoteGateRate is the observed gate rate at or above which a
+	// candidate is removed from the metadata table.
+	DemoteGateRate float64
+	// MinDecisions is the minimum number of observed decisions before a
+	// candidate may be demoted (small samples stay as marked).
+	MinDecisions uint64
+	// Cost re-evaluates equations (3)/(4) at the observed mean trip count.
+	Cost CostParams
+}
+
+// DefaultRefineParams demotes candidates gated on ≥90% of at least 16
+// observed decisions, using the default cost model for re-tagging.
+func DefaultRefineParams() RefineParams {
+	return RefineParams{DemoteGateRate: 0.9, MinDecisions: 16, Cost: DefaultCostParams()}
+}
+
+// RefineResult reports what Refine changed.
+type RefineResult struct {
+	Demoted  []*Candidate // removed from the metadata table
+	Retagged []*Candidate // SavesTX/SavesRX re-derived from observed trips
+	Kept     int          // candidates remaining in the table
+}
+
+// Refine applies an observed gate profile to a metadata table in place:
+// candidates whose gate rate meets p.DemoteGateRate over at least
+// p.MinDecisions decisions are demoted (the region runs inline from then
+// on), and surviving loop candidates with observed trip counts get their
+// bandwidth deltas and 2-bit channel tag recomputed at the observed mean
+// trip count instead of the compile-time assumption. Candidates the profile
+// never saw are kept untouched. Candidate IDs are preserved so profiles and
+// reports stay comparable across the static and refined tables.
+func Refine(md *Metadata, prof GateProfile, p RefineParams) RefineResult {
+	var res RefineResult
+	kept := md.Candidates[:0]
+	for _, c := range md.Candidates {
+		g := prof[c.StartPC]
+		if g == nil {
+			kept = append(kept, c)
+			continue
+		}
+		if g.Decisions() >= p.MinDecisions && g.GateRate() >= p.DemoteGateRate {
+			delete(md.byStart, c.StartPC)
+			res.Demoted = append(res.Demoted, c)
+			continue
+		}
+		if g.TripObs > 0 && c.IsLoop && !c.Trip.Known {
+			trips := g.MeanTrips()
+			if trips < 1 {
+				trips = 1
+			}
+			tx, rx := p.Cost.BWDelta(c.NumLiveIn(), c.NumLiveOut(), c.NLD, c.NST, trips)
+			if (tx < 0) != c.SavesTX || (rx < 0) != c.SavesRX {
+				c.BWTX, c.BWRX = tx, rx
+				c.SavesTX, c.SavesRX = tx < 0, rx < 0
+				res.Retagged = append(res.Retagged, c)
+			}
+		}
+		kept = append(kept, c)
+	}
+	for i := len(kept); i < len(md.Candidates); i++ {
+		md.Candidates[i] = nil
+	}
+	md.Candidates = kept
+	res.Kept = len(kept)
+	return res
+}

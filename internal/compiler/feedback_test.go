@@ -1,0 +1,149 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+)
+
+func loopCandidate(t *testing.T) (*Metadata, *Candidate) {
+	t.Helper()
+	md, err := Analyze(libLoopKernel(t), DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range md.Candidates {
+		if c.IsLoop {
+			return md, c
+		}
+	}
+	t.Fatal("no loop candidate")
+	return nil, nil
+}
+
+func TestGateStatsArithmetic(t *testing.T) {
+	g := &GateStats{}
+	for _, r := range []string{"cond", "busy", "full", "alu", "nodest", "bogus"} {
+		g.CountSkip(r)
+	}
+	if g.Gated() != 5 {
+		t.Errorf("Gated = %d, want 5 (unknown reasons must not count)", g.Gated())
+	}
+	g.Sent = 5
+	g.LearnEntries = 3 // must not affect decisions
+	if g.Decisions() != 10 {
+		t.Errorf("Decisions = %d, want 10", g.Decisions())
+	}
+	if g.GateRate() != 0.5 {
+		t.Errorf("GateRate = %v, want 0.5", g.GateRate())
+	}
+	if (&GateStats{}).GateRate() != 0 {
+		t.Error("GateRate with no decisions must be 0")
+	}
+	g.TripSum, g.TripObs = 30, 4
+	if g.MeanTrips() != 7.5 {
+		t.Errorf("MeanTrips = %v, want 7.5", g.MeanTrips())
+	}
+	if (&GateStats{}).MeanTrips() != 0 {
+		t.Error("MeanTrips with no observations must be 0")
+	}
+}
+
+func TestGateProfileAtAndPCs(t *testing.T) {
+	p := GateProfile{}
+	p.At(12).Sent++
+	p.At(3).SkippedCond++
+	p.At(12).Sent++
+	if p[12].Sent != 2 {
+		t.Errorf("At must reuse the bucket: sent = %d, want 2", p[12].Sent)
+	}
+	pcs := p.PCs()
+	if len(pcs) != 2 || pcs[0] != 3 || pcs[1] != 12 {
+		t.Errorf("PCs = %v, want [3 12]", pcs)
+	}
+}
+
+// TestRefineDemotesAlwaysGated is the synthetic always-gated case from the
+// acceptance criteria: a candidate whose every observed decision was gated
+// must be cleared from the metadata table.
+func TestRefineDemotesAlwaysGated(t *testing.T) {
+	md, loop := loopCandidate(t)
+	before := len(md.Candidates)
+	prof := GateProfile{}
+	prof.At(loop.StartPC).SkippedCond = 20
+
+	res := Refine(md, prof, DefaultRefineParams())
+	if len(res.Demoted) != 1 || res.Demoted[0] != loop {
+		t.Fatalf("Demoted = %v, want the loop candidate", res.Demoted)
+	}
+	if res.Kept != before-1 || len(md.Candidates) != before-1 {
+		t.Errorf("kept %d of %d candidates, want %d", res.Kept, before, before-1)
+	}
+	if md.AtPC(loop.StartPC) != nil {
+		t.Error("demoted candidate still resolvable via AtPC")
+	}
+	for _, c := range md.Candidates {
+		if c == loop {
+			t.Error("demoted candidate still in the table")
+		}
+	}
+}
+
+// TestRefineSmallSampleKept: the same always-gated profile below
+// MinDecisions must not demote — small samples stay as marked.
+func TestRefineSmallSampleKept(t *testing.T) {
+	md, loop := loopCandidate(t)
+	before := len(md.Candidates)
+	prof := GateProfile{}
+	prof.At(loop.StartPC).SkippedCond = 8 // < default MinDecisions of 16
+
+	res := Refine(md, prof, DefaultRefineParams())
+	if len(res.Demoted) != 0 || len(md.Candidates) != before {
+		t.Errorf("small sample demoted: %v", res.Demoted)
+	}
+	if md.AtPC(loop.StartPC) != loop {
+		t.Error("candidate lost from the PC index")
+	}
+}
+
+// TestRefineRetagsFromObservedTrips: the LIB loop's static tag assumes the
+// break-even trip count (TX does not save); observing a much larger mean
+// trip count must flip SavesTX, since the live-in transfer amortizes.
+func TestRefineRetagsFromObservedTrips(t *testing.T) {
+	md, loop := loopCandidate(t)
+	if loop.SavesTX {
+		t.Fatal("precondition: static tag must not save TX at the threshold")
+	}
+	prof := GateProfile{}
+	g := prof.At(loop.StartPC)
+	g.Sent = 20 // gate rate 0: no demotion
+	g.TripSum, g.TripObs = 4000, 20
+
+	p := DefaultRefineParams()
+	res := Refine(md, prof, p)
+	if len(res.Retagged) != 1 || res.Retagged[0] != loop {
+		t.Fatalf("Retagged = %v, want the loop candidate", res.Retagged)
+	}
+	if !loop.SavesTX || !loop.SavesRX {
+		t.Errorf("tag after 200 observed trips = TX:%v RX:%v, want both saving",
+			loop.SavesTX, loop.SavesRX)
+	}
+	wantTX, wantRX := p.Cost.BWDelta(loop.NumLiveIn(), loop.NumLiveOut(), loop.NLD, loop.NST, 200)
+	if math.Abs(loop.BWTX-wantTX) > 1e-9 || math.Abs(loop.BWRX-wantRX) > 1e-9 {
+		t.Errorf("deltas = (%v,%v), want (%v,%v)", loop.BWTX, loop.BWRX, wantTX, wantRX)
+	}
+}
+
+// TestRefineUnobservedUntouched: an empty profile must change nothing.
+func TestRefineUnobservedUntouched(t *testing.T) {
+	md, loop := loopCandidate(t)
+	before := len(md.Candidates)
+	savesTX, savesRX := loop.SavesTX, loop.SavesRX
+
+	res := Refine(md, GateProfile{}, DefaultRefineParams())
+	if len(res.Demoted) != 0 || len(res.Retagged) != 0 || res.Kept != before {
+		t.Errorf("empty profile changed the table: %+v", res)
+	}
+	if loop.SavesTX != savesTX || loop.SavesRX != savesRX {
+		t.Error("empty profile changed the channel tag")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/sim"
+)
+
+// AdaptSpec is the identity of an adaptive run's feedback component: the
+// profiling scale and the refinement thresholds. It is part of RunSpec and
+// of the cache digest (see RunSpec.Digest), so adaptive and static runs of
+// the same configuration never collide in any cache layer.
+type AdaptSpec struct {
+	// ProfileFrac scales the profiling pass: it runs at the session's
+	// scale multiplied by this fraction (§3.2's learning philosophy —
+	// observe a small prefix, commit for the rest).
+	ProfileFrac float64
+	// DemoteGateRate and MinDecisions mirror compiler.RefineParams.
+	DemoteGateRate float64
+	MinDecisions   uint64
+}
+
+// AdaptOptions configures RunAdaptive. The zero value selects defaults.
+type AdaptOptions struct {
+	// ProfileFrac is the profiling-pass scale fraction (default 0.25).
+	ProfileFrac float64
+	// Refine overrides the refinement parameters; a zero value selects
+	// compiler.DefaultRefineParams().
+	Refine compiler.RefineParams
+}
+
+func (o AdaptOptions) withDefaults() AdaptOptions {
+	if o.ProfileFrac <= 0 {
+		o.ProfileFrac = 0.25
+	}
+	if o.Refine == (compiler.RefineParams{}) {
+		o.Refine = compiler.DefaultRefineParams()
+	}
+	return o
+}
+
+// spec projects the options onto the digest-relevant identity.
+func (o AdaptOptions) spec() AdaptSpec {
+	return AdaptSpec{
+		ProfileFrac:    o.ProfileFrac,
+		DemoteGateRate: o.Refine.DemoteGateRate,
+		MinDecisions:   o.Refine.MinDecisions,
+	}
+}
+
+// AdaptiveRun bundles the two passes of one adaptive measurement.
+type AdaptiveRun struct {
+	// Profile is the reduced-scale profiling pass whose per-PC gate table
+	// fed the refinement.
+	Profile *RunResult
+	// Result is the full-scale run with the refined candidate set.
+	Result *RunResult
+	// Spec records the feedback parameters in force.
+	Spec AdaptSpec
+}
+
+// profileSession returns (creating once) the reduced-scale sub-session for
+// a profile fraction. It shares the parent's persistent cache, so the
+// profiling pass replays across processes like any other run.
+func (s *Session) profileSession(frac float64) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.profSessions == nil {
+		s.profSessions = map[float64]*Session{}
+	}
+	ps, ok := s.profSessions[frac]
+	if !ok {
+		ps = NewSession(Options{Scale: s.Scale * frac, Progress: s.Progress})
+		ps.cache = s.cache
+		s.profSessions[frac] = ps
+	}
+	return ps
+}
+
+// RunAdaptive closes the offload-marking loop for one workload ×
+// configuration: a short profiling run observes where the runtime gates
+// (the per-PC decision table sim.Stats.PCStats), compiler.Refine demotes
+// candidates whose observed gate rate shows static marking got it wrong
+// and re-tags SavesTX/SavesRX from observed trip counts, and the full run
+// executes with the refined candidate set. Both passes go through the
+// layered caches; the full pass's spec carries the AdaptSpec, so it is
+// cached independently of the static run.
+func (s *Session) RunAdaptive(abbr string, name ConfigName, o AdaptOptions) (*AdaptiveRun, error) {
+	o = o.withDefaults()
+	prof, err := s.profileSession(o.ProfileFrac).Run(abbr, name)
+	if err != nil {
+		return nil, fmt.Errorf("adaptive profile pass: %w", err)
+	}
+	spec, err := s.Spec(abbr, name)
+	if err != nil {
+		return nil, err
+	}
+	ad := o.spec()
+	spec.Adapt = &ad
+	table := prof.Stats.PCStats
+	params := o.Refine
+	res, err := s.runSpec(spec, func(sys *sim.System) {
+		sys.ApplyGateFeedback(table, params)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveRun{Profile: prof, Result: res, Spec: ad}, nil
+}
+
+// Adapt compares static offload control against the adaptive
+// profile-and-refine loop over the Fig. 9 workload set: speedups over the
+// baseline for both, plus how many candidates the feedback demoted or
+// re-tagged. The notes carry each workload's per-PC gate rates from the
+// profiling pass — the observed evidence the refinement acted on.
+func (r *Runner) Adapt() (*Table, error) {
+	t := &Table{
+		ID: "adapt", Title: "Static vs. adaptive (gate-feedback) offload control",
+		Columns: workloadColumns(),
+		Notes: []string{
+			"adaptive = profile run -> per-PC gate-rate refinement -> full run (ctrl-tmap)",
+		},
+	}
+	var static, adaptive, demoted, retagged []float64
+	for _, abbr := range Abbrs() {
+		b, err := r.Run(abbr, CfgBaseline)
+		if err != nil {
+			return nil, err
+		}
+		st, err := r.Run(abbr, CfgCtrlTmap)
+		if err != nil {
+			return nil, err
+		}
+		ad, err := r.RunAdaptive(abbr, CfgCtrlTmap, AdaptOptions{})
+		if err != nil {
+			return nil, err
+		}
+		static = append(static, st.Stats.IPC()/b.Stats.IPC())
+		adaptive = append(adaptive, ad.Result.Stats.IPC()/b.Stats.IPC())
+		demoted = append(demoted, float64(ad.Result.Stats.RefineDemoted))
+		retagged = append(retagged, float64(ad.Result.Stats.RefineRetagged))
+		if note := gateRateNote(abbr, ad.Profile.Stats.PCStats); note != "" {
+			t.Notes = append(t.Notes, note)
+		}
+	}
+	t.Rows = append(t.Rows,
+		Row{Label: "static ctrl-tmap", Values: withAvg(static, GeoMean)},
+		Row{Label: "adaptive ctrl-tmap", Values: withAvg(adaptive, GeoMean)},
+		Row{Label: "demoted candidates", Values: withAvg(demoted, Mean)},
+		Row{Label: "re-tagged candidates", Values: withAvg(retagged, Mean)},
+	)
+	return t, nil
+}
+
+// gateRateNote renders one workload's per-PC gate rates ("" when the
+// profile saw no candidate entries).
+func gateRateNote(abbr string, prof compiler.GateProfile) string {
+	var parts []string
+	for _, pc := range prof.PCs() {
+		g := prof[pc]
+		if g.Decisions() == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("pc%d gated %.0f%% (%d/%d, mean trips %.0f)",
+			pc, g.GateRate()*100, g.Gated(), g.Decisions(), g.MeanTrips()))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return abbr + ": " + strings.Join(parts, "; ")
+}

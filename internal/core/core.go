@@ -160,6 +160,12 @@ type Session struct {
 	runs     map[string]*RunResult // keyed by RunSpec digest
 	runKeys  map[string]string     // digest -> "ABBR/config" (diagnostics)
 	stats    CacheStats
+
+	// profSessions holds lazily-created reduced-scale sub-sessions used by
+	// RunAdaptive's profiling pass, keyed by profile fraction. They share
+	// this session's persistent cache, so profile runs replay across
+	// processes like any other run.
+	profSessions map[float64]*Session
 }
 
 // Runner is the historical name of Session, kept as an alias: the old
@@ -311,6 +317,15 @@ func (s *Session) Run(abbr string, name ConfigName) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return s.runSpec(spec, nil)
+}
+
+// runSpec executes (or replays) a fully-resolved spec through the layered
+// caches. prep, when non-nil, configures the simulator after construction
+// and before Run (adaptive feedback injection); anything prep changes must
+// already be part of the spec's digest, or cached replays would diverge
+// from fresh executions.
+func (s *Session) runSpec(spec RunSpec, prep func(*sim.System)) (*RunResult, error) {
 	digest := spec.Digest()
 	s.mu.Lock()
 	if res, ok := s.runs[digest]; ok {
@@ -319,14 +334,14 @@ func (s *Session) Run(abbr string, name ConfigName) (*RunResult, error) {
 		return res, nil
 	}
 	s.mu.Unlock()
-	err = s.once("run/"+digest, func() error {
+	err := s.once("run/"+digest, func() error {
 		s.mu.Lock()
 		_, ok := s.runs[digest]
 		s.mu.Unlock()
 		if ok {
 			return nil
 		}
-		res, fromDisk, err := s.fetchOrRun(spec, digest)
+		res, fromDisk, err := s.fetchOrRun(spec, digest, prep)
 		if err != nil {
 			return err
 		}
@@ -351,7 +366,7 @@ func (s *Session) Run(abbr string, name ConfigName) (*RunResult, error) {
 
 // fetchOrRun consults the persistent layer, then simulates on a miss and
 // writes the verified result back.
-func (s *Session) fetchOrRun(spec RunSpec, digest string) (res *RunResult, fromDisk bool, err error) {
+func (s *Session) fetchOrRun(spec RunSpec, digest string, prep func(*sim.System)) (res *RunResult, fromDisk bool, err error) {
 	if s.cache != nil {
 		cached, ok, err := s.cache.Get(digest)
 		if err != nil {
@@ -363,7 +378,7 @@ func (s *Session) fetchOrRun(spec RunSpec, digest string) (res *RunResult, fromD
 			return cached, true, nil
 		}
 	}
-	res, err = s.runUncached(spec, nil)
+	res, err = s.runUncached(spec, nil, prep)
 	if err != nil {
 		return nil, false, err
 	}
@@ -394,10 +409,10 @@ func (s *Session) RunObserved(abbr string, name ConfigName, o *obs.Observer) (*R
 	if err != nil {
 		return nil, err
 	}
-	return s.runUncached(spec, o)
+	return s.runUncached(spec, o, nil)
 }
 
-func (s *Session) runUncached(spec RunSpec, o *obs.Observer) (*RunResult, error) {
+func (s *Session) runUncached(spec RunSpec, o *obs.Observer, prep func(*sim.System)) (*RunResult, error) {
 	abbr := spec.Abbr
 	in, err := s.instance(abbr)
 	if err != nil {
@@ -426,6 +441,9 @@ func (s *Session) runUncached(spec RunSpec, o *obs.Observer) (*RunResult, error)
 	if prof != nil {
 		bit, _ := prof.OracleBit()
 		sys.ApplyMappingBit(bit)
+	}
+	if prep != nil {
+		prep(sys)
 	}
 	if err := sys.Run(c.Launches); err != nil {
 		return nil, fmt.Errorf("%s: %w", spec.Key(), err)
@@ -458,11 +476,23 @@ func Abbrs() []string {
 	return out
 }
 
-// CacheStats reports how the session's completed runs were satisfied.
+// CacheStats reports how the session's completed runs were satisfied,
+// including the reduced-scale profiling runs of adaptive sessions.
 func (s *Session) CacheStats() CacheStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	subs := make([]*Session, 0, len(s.profSessions))
+	for _, ps := range s.profSessions {
+		subs = append(subs, ps)
+	}
+	s.mu.Unlock()
+	for _, ps := range subs {
+		sub := ps.CacheStats()
+		st.MemoHits += sub.MemoHits
+		st.DiskHits += sub.DiskHits
+		st.Simulated += sub.Simulated
+	}
+	return st
 }
 
 // CacheDir returns the persistent cache root ("" when disabled).

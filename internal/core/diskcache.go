@@ -13,7 +13,10 @@ import (
 // cacheSchemaVersion is bumped whenever the record layout (or the meaning
 // of any serialized statistic) changes; it is folded into the fingerprint
 // so old caches self-invalidate instead of deserializing garbage.
-const cacheSchemaVersion = "tomcache/v1"
+// v2: ack packets charge the full offload header (sim/types.go), Stats
+// gained the per-PC gate table + nodest counter, and specs can carry an
+// adaptive-feedback component — v1 records describe a different machine.
+const cacheSchemaVersion = "tomcache/v2"
 
 // BuildFingerprint identifies the producing build: the cache schema version
 // plus, when the binary carries VCS stamps, the revision and dirty flag.

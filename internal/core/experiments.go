@@ -432,6 +432,7 @@ func (r *Runner) AllExperiments() ([]*Table, error) {
 		{"fig8", r.Fig8}, {"fig9", r.Fig9}, {"fig10", r.Fig10},
 		{"fig11", r.Fig11}, {"fig12", r.Fig12}, {"fig13", r.Fig13},
 		{"xstack", r.CrossStackSweep}, {"coherence", r.CoherenceOverhead},
+		{"adapt", r.Adapt},
 	}
 	if err := r.Warm(FullMatrix()); err != nil {
 		return nil, err
@@ -476,6 +477,8 @@ func (r *Runner) Experiment(id string) (*Table, error) {
 		return r.CrossStackSweep()
 	case "coherence":
 		return r.CoherenceOverhead()
+	case "adapt":
+		return r.Adapt()
 	case "area":
 		return AreaTable(), nil
 	}
@@ -485,5 +488,5 @@ func (r *Runner) Experiment(id string) (*Table, error) {
 // ExperimentIDs lists all experiment identifiers in paper order.
 func ExperimentIDs() []string {
 	return []string{"fig2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "xstack", "coherence", "area"}
+		"fig11", "fig12", "fig13", "xstack", "coherence", "adapt", "area"}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -78,7 +79,7 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("get after put: ok=%v err=%v", ok, err)
 	}
-	if *got != *res {
+	if !reflect.DeepEqual(got, res) {
 		t.Errorf("round trip mutated the result: %+v vs %+v", got, res)
 	}
 
@@ -129,7 +130,7 @@ func TestSessionColdThenWarm(t *testing.T) {
 	if st := warm.CacheStats(); st.DiskHits != 1 || st.Simulated != 0 {
 		t.Fatalf("warm session must replay from disk: %+v", st)
 	}
-	if *a != *b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("replayed result differs:\ncold %+v\nwarm %+v", a, b)
 	}
 
@@ -211,7 +212,7 @@ func TestWarmPopulatesDiskCache(t *testing.T) {
 	for _, p := range pairs {
 		a, _ := cold.Run(p.Abbr, p.Config)
 		b, _ := warm.Run(p.Abbr, p.Config)
-		if *a != *b {
+		if !reflect.DeepEqual(a, b) {
 			t.Errorf("%s: replay differs", p.Key())
 		}
 	}

@@ -22,6 +22,12 @@ type RunSpec struct {
 	// digest through its canonical string, so flipping any model parameter
 	// (even one the named configuration doesn't touch) yields a new spec.
 	Cfg sim.Config
+	// Adapt, when non-nil, marks this as the full pass of an adaptive
+	// (profile → refine → rerun) session and folds the feedback parameters
+	// into the digest: an adaptive run and the static run of the same
+	// configuration are different measurements and must never share a
+	// cache record.
+	Adapt *AdaptSpec
 }
 
 // NewRunSpec resolves a named configuration into a canonical spec.
@@ -48,5 +54,9 @@ func (sp RunSpec) Digest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "workload=%s;scale=%v;config=%s;%s",
 		sp.Abbr, sp.Scale, sp.Config, sp.Cfg.Canonical())
+	if a := sp.Adapt; a != nil {
+		fmt.Fprintf(h, "adapt=frac:%v,demote:%v,mindec:%d;",
+			a.ProfileFrac, a.DemoteGateRate, a.MinDecisions)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -38,6 +38,7 @@ type obsState struct {
 	// Offload lifecycle counters (mirror the sim.Stats fields exactly).
 	candidates, sent, acks                 *obs.Counter
 	skipBusy, skipFull, skipCond, skipALU  *obs.Counter
+	skipNoDest                             *obs.Counter
 	invalidates, drainStalls, spawnCounter *obs.Counter
 }
 
@@ -67,6 +68,7 @@ func newObsState(cfg *Config) *obsState {
 		skipFull:     reg.Counter("offload.skipped_full"),
 		skipCond:     reg.Counter("offload.skipped_cond"),
 		skipALU:      reg.Counter("offload.skipped_alu"),
+		skipNoDest:   reg.Counter("offload.skipped_nodest"),
 		invalidates:  reg.Counter("coherence.invalidates"),
 		drainStalls:  reg.Counter("offload.drain_stalls"),
 		spawnCounter: reg.Counter("offload.spawns"),
@@ -134,7 +136,9 @@ func (ob *obsState) flush(sys *System) {
 
 // obGate records one suppressed offload: the per-reason counter plus a gate
 // trace event. dest < 0 means the gate fired before a destination stack was
-// known (the conditional-trip check).
+// known (the conditional-trip check, or a failed destination dry run).
+// Callers go through System.gate, which also maintains the Stats twins and
+// the per-PC decision table.
 func (sys *System) obGate(now int64, sm *SM, cand *compiler.Candidate, dest int, reason string) {
 	ob := sys.ob
 	if ob == nil {
@@ -149,6 +153,8 @@ func (sys *System) obGate(now int64, sm *SM, cand *compiler.Candidate, dest int,
 		ob.skipCond.Inc()
 	case "alu":
 		ob.skipALU.Inc()
+	case "nodest":
+		ob.skipNoDest.Inc()
 	}
 	ev := obs.Event{Cycle: now, Kind: obs.EvGate, SM: sm.id, PC: cand.StartPC, Reason: reason}
 	if dest >= 0 {

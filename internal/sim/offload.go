@@ -22,6 +22,27 @@ type offloadJob struct {
 	dirty   map[uint64]struct{}
 }
 
+// gate records one suppressed offload everywhere it is accounted: the
+// aggregate per-reason counter, the per-PC decision table, and (when an
+// observer is attached) the metrics counter plus a gate trace event. Every
+// gate site goes through here so the accounting stays exhaustive.
+func (sys *System) gate(now int64, sm *SM, cand *compiler.Candidate, dest int, reason string) {
+	switch reason {
+	case "busy":
+		sys.stats.OffloadsSkippedBusy++
+	case "full":
+		sys.stats.OffloadsSkippedFull++
+	case "cond":
+		sys.stats.OffloadsSkippedCond++
+	case "alu":
+		sys.stats.OffloadsSkippedALU++
+	case "nodest":
+		sys.stats.OffloadsSkippedNoDest++
+	}
+	sys.stats.PCStats.At(cand.StartPC).CountSkip(reason)
+	sys.obGate(now, sm, cand, dest, reason)
+}
+
 // handleCandidateEntry runs when a main-SM warp reaches a candidate's start
 // PC. It returns true when the warp was captured (offload in progress); on
 // false the warp executes the region inline.
@@ -32,6 +53,8 @@ func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candi
 		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvCandidate, SM: sm.id, PC: cand.StartPC})
 	}
 	if sys.learning {
+		sys.stats.LearnEntries++
+		sys.stats.PCStats.At(cand.StartPC).LearnEntries++
 		sw.collect = &collectState{cand: cand}
 		return false
 	}
@@ -42,28 +65,43 @@ func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candi
 		return sys.offloadIdeal(sm, sw, cand, now)
 	}
 
+	// Observe the leader lane's trip count for every conditional-hinted
+	// candidate (§4.2 step 1); the per-PC record feeds compiler.Refine's
+	// re-tagging even when the hint is below the offload threshold.
+	trips := -1
+	if cond := cand.Trip.Cond; cond != nil && !cand.Trip.Known {
+		if lane := sw.w.LeaderLane(); lane >= 0 {
+			ind := int64(sw.w.Regs[cond.IndReg][lane])
+			var bound int64
+			if cond.BoundIsReg {
+				bound = int64(sw.w.Regs[cond.BoundReg][lane])
+			}
+			trips = cond.Trips(ind, bound)
+			g := sys.stats.PCStats.At(cand.StartPC)
+			g.TripObs++
+			if trips > 0 {
+				g.TripSum += uint64(trips)
+			}
+		}
+	}
+
 	// Conditional candidates: evaluate the compiler's hint against the
-	// leader lane's registers (§4.2 dynamic decision step 1).
+	// leader lane's registers (§4.2 dynamic decision step 1). No leader
+	// lane means no destination could be derived either: count as nodest.
 	if cand.Conditional() {
-		lane := sw.w.LeaderLane()
-		if lane < 0 {
+		if sw.w.LeaderLane() < 0 {
+			sys.gate(now, sm, cand, -1, "nodest")
 			return false
 		}
-		cond := cand.Trip.Cond
-		ind := int64(sw.w.Regs[cond.IndReg][lane])
-		var bound int64
-		if cond.BoundIsReg {
-			bound = int64(sw.w.Regs[cond.BoundReg][lane])
-		}
-		if cond.Trips(ind, bound) < cond.MinTrips {
-			sys.stats.OffloadsSkippedCond++
-			sys.obGate(now, sm, cand, -1, "cond")
+		if trips < cand.Trip.Cond.MinTrips {
+			sys.gate(now, sm, cand, -1, "cond")
 			return false
 		}
 	}
 
 	dest := sys.destStack(sw, cand)
 	if dest < 0 {
+		sys.gate(now, sm, cand, -1, "nodest")
 		return false
 	}
 
@@ -71,26 +109,22 @@ func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candi
 		// Extension (§6.4 future work): ALU-ratio-aware gating.
 		if g := sys.cfg.ALUGate; g > 0 && cand.ALUFrac > g &&
 			sys.pendingOffloads[dest] > sys.cfg.StackSMs*sys.cfg.StackWarps()/2 {
-			sys.stats.OffloadsSkippedALU++
-			sys.obGate(now, sm, cand, dest, "alu")
+			sys.gate(now, sm, cand, dest, "alu")
 			return false
 		}
 		// Step 2: channel-busy gating via the 2-bit tag (§3.3).
 		th := sys.cfg.BusyThreshold
 		if !cand.SavesTX && sys.txLinks[dest].Busy(th) {
-			sys.stats.OffloadsSkippedBusy++
-			sys.obGate(now, sm, cand, dest, "busy")
+			sys.gate(now, sm, cand, dest, "busy")
 			return false
 		}
 		if !cand.SavesRX && sys.rxLinks[dest].Busy(th) {
-			sys.stats.OffloadsSkippedBusy++
-			sys.obGate(now, sm, cand, dest, "busy")
+			sys.gate(now, sm, cand, dest, "busy")
 			return false
 		}
 		// Step 3: pending-offload limit = stack SM warp capacity.
 		if sys.pendingOffloads[dest] >= sys.cfg.StackSMs*sys.cfg.StackWarps() {
-			sys.stats.OffloadsSkippedFull++
-			sys.obGate(now, sm, cand, dest, "full")
+			sys.gate(now, sm, cand, dest, "full")
 			return false
 		}
 	}
@@ -130,6 +164,7 @@ func (sys *System) launchOffload(sm *SM, sw *smWarp, cand *compiler.Candidate, d
 	}
 	reqBytes := offloadHdrBytes + cand.NumLiveIn()*isa.WarpSize*regLaneBytes
 	sys.stats.OffloadsSent++
+	sys.stats.PCStats.At(cand.StartPC).Sent++
 	if ob := sys.ob; ob != nil {
 		ob.sent.Inc()
 		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvSend, SM: sm.id, Stack: dest,
@@ -150,11 +185,11 @@ func (sys *System) launchOffload(sm *SM, sw *smWarp, cand *compiler.Candidate, d
 func (sys *System) offloadIdeal(sm *SM, sw *smWarp, cand *compiler.Candidate, now int64) bool {
 	dest := sys.destStack(sw, cand)
 	if dest < 0 {
+		sys.gate(now, sm, cand, -1, "nodest")
 		return false
 	}
 	if sys.pendingOffloads[dest] >= sys.cfg.StackSMs*sys.cfg.StackWarps() {
-		sys.stats.OffloadsSkippedFull++
-		sys.obGate(now, sm, cand, dest, "full")
+		sys.gate(now, sm, cand, dest, "full")
 		return false
 	}
 	sm.unready(sw, wsWaitOffload)
@@ -172,6 +207,7 @@ func (sys *System) offloadIdeal(sm *SM, sw *smWarp, cand *compiler.Candidate, no
 	}
 	sys.pendingOffloads[dest]++
 	sys.stats.OffloadsSent++
+	sys.stats.PCStats.At(cand.StartPC).Sent++
 	if ob := sys.ob; ob != nil {
 		ob.sent.Inc()
 		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvSend, SM: sm.id, Stack: dest,
@@ -219,8 +255,12 @@ func (sm *SM) spawn(job *offloadJob, now int64) {
 	slot := sm.findFreeSlot()
 	sw := &smWarp{sm: sm, slot: slot, w: w, md: md, job: job}
 	sm.warps[slot] = sw
+	// Ideal-mode oversubscription spawns past capacity without consuming a
+	// slot; remember which warps took one so retirement releases exactly
+	// what was taken and freeSlots can never exceed the configured slots.
 	if sm.freeSlots > 0 {
 		sm.freeSlots--
+		sw.tookSlot = true
 	}
 	sm.setReady(sw)
 }
@@ -233,7 +273,9 @@ func (sys *System) sendOffloadAck(sw *smWarp, now int64) {
 	job := sw.job
 	sm.unready(sw, wsRetired)
 	sm.warps[sw.slot] = nil
-	sm.freeSlots++
+	if sw.tookSlot {
+		sm.freeSlots++
+	}
 
 	cand := job.cand
 	k := sw.w.Kernel
@@ -243,7 +285,9 @@ func (sys *System) sendOffloadAck(sw *smWarp, now int64) {
 			job.liveOut[r] = sw.w.Regs[r]
 		}
 	}
-	ackBytes := reqHeaderBytes + cand.NumLiveOut()*isa.WarpSize*regLaneBytes
+	// The ack carries the same offload header as the request: per §4.4.2 it
+	// must identify the requesting warp and region (see types.go).
+	ackBytes := offloadHdrBytes + cand.NumLiveOut()*isa.WarpSize*regLaneBytes
 	if sys.cfg.Coherence {
 		ackBytes += len(job.dirty) * dirtyAddrBytes
 	}

@@ -85,8 +85,11 @@ type smWarp struct {
 	// Learning-phase collection.
 	collect *collectState
 
-	// Stack-SM side: the offload job this warp serves.
-	job *offloadJob
+	// Stack-SM side: the offload job this warp serves, and whether its
+	// spawn consumed a warp slot (ideal-mode oversubscription spawns
+	// without one; its retirement must not mint a free slot).
+	job      *offloadJob
+	tookSlot bool
 }
 
 type ctaCtx struct {

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+)
 
 // Stats aggregates everything the paper's figures report.
 type Stats struct {
@@ -29,8 +33,27 @@ type Stats struct {
 	OffloadsSkippedFull  uint64 // pending-per-stack gate
 	OffloadsSkippedCond  uint64 // conditional threshold not met
 	OffloadsSkippedALU   uint64 // ALU-ratio gate (extension)
+	// OffloadsSkippedNoDest counts entries whose destination-stack dry run
+	// failed (no active lanes, or the scalar walk left the region before
+	// the first memory access — §4.2 footnote 4); the region runs inline.
+	OffloadsSkippedNoDest uint64
+	// LearnEntries counts candidate entries consumed by the tmap learning
+	// phase (executed inline while the mapping analyzer observes; no
+	// offload decision is made for them).
+	LearnEntries         uint64
 	CoherenceInvalidates uint64 // dirty lines invalidated at the GPU
 	StoreDrainStalls     uint64
+
+	// PCStats attributes every offload decision (sent, each skip reason,
+	// learning entries, observed trip counts) to the candidate's start PC —
+	// the profile compiler.Refine consumes. Conservation invariant at
+	// quiescence: CandidateInstances == OffloadsSent + OffloadsSkipped() +
+	// LearnEntries whenever offloading is enabled.
+	PCStats compiler.GateProfile
+
+	// --- Adaptive refinement (ApplyGateFeedback) ---
+	RefineDemoted  int // candidates demoted from the metadata tables
+	RefineRetagged int // candidates whose channel tag was re-derived
 
 	// --- Caches & DRAM ---
 	L1Hits, L1Misses           uint64
@@ -53,6 +76,12 @@ func (s *Stats) IPC() float64 {
 		return 0
 	}
 	return float64(s.ThreadInstrs) / float64(s.Cycles)
+}
+
+// OffloadsSkipped sums the gate counters over every skip reason.
+func (s *Stats) OffloadsSkipped() uint64 {
+	return s.OffloadsSkippedBusy + s.OffloadsSkippedFull + s.OffloadsSkippedCond +
+		s.OffloadsSkippedALU + s.OffloadsSkippedNoDest
 }
 
 // OffChipBytes sums all off-chip memory traffic (the Fig. 9 metric:

@@ -93,6 +93,7 @@ func TestObserverMatchesStats(t *testing.T) {
 		{"offload.skipped_full", st.OffloadsSkippedFull},
 		{"offload.skipped_cond", st.OffloadsSkippedCond},
 		{"offload.skipped_alu", st.OffloadsSkippedALU},
+		{"offload.skipped_nodest", st.OffloadsSkippedNoDest},
 		{"coherence.invalidates", st.CoherenceInvalidates},
 		{"offload.drain_stalls", st.StoreDrainStalls},
 	}
@@ -115,10 +116,8 @@ func TestObserverMatchesStats(t *testing.T) {
 	if got := sink.CountKind(obs.EvFinish); uint64(got) != st.OffloadsSent {
 		t.Errorf("finish events = %d, want %d", got, st.OffloadsSent)
 	}
-	skips := st.OffloadsSkippedBusy + st.OffloadsSkippedFull +
-		st.OffloadsSkippedCond + st.OffloadsSkippedALU
-	if got := sink.CountKind(obs.EvGate); uint64(got) != skips {
-		t.Errorf("gate events = %d, want %d", got, skips)
+	if got := sink.CountKind(obs.EvGate); uint64(got) != st.OffloadsSkipped() {
+		t.Errorf("gate events = %d, want %d", got, st.OffloadsSkipped())
 	}
 
 	// Per-stack pending-offload occupancy: one sample per elapsed interval

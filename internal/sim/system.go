@@ -57,6 +57,11 @@ type System struct {
 	mdCache map[*isa.Kernel]*compiler.Metadata
 	trace   func(now int64)
 
+	// Adaptive marking (ApplyGateFeedback): an observed gate profile and
+	// refine parameters applied to every kernel's metadata before use.
+	gateProf     compiler.GateProfile
+	refineParams compiler.RefineParams
+
 	// ob is non-nil iff cfg.Observer is set (see observe.go).
 	ob *obsState
 }
@@ -70,6 +75,7 @@ func New(cfg Config, m *mem.Flat, alloc *mem.AllocTable) *System {
 		offloadBit: -1,
 		mdCache:    make(map[*isa.Kernel]*compiler.Metadata),
 	}
+	sys.stats.PCStats = compiler.GateProfile{}
 	sys.l2 = newL2(sys)
 	for i := 0; i < cfg.MainSMs; i++ {
 		sm := newSM(sys, i, false, -1, cfg.WarpsPerSM)
@@ -151,7 +157,18 @@ func (sys *System) stackOf(addr uint64) int {
 
 func (sys *System) forceColocate() bool { return sys.cfg.Offload == OffloadIdeal }
 
-// metadata compiles (and caches) the offload metadata for a kernel.
+// ApplyGateFeedback installs an observed per-PC gate profile (typically the
+// PCStats of a short profiling run): every kernel metadata table this
+// System compiles is refined with it — always-gated candidates are demoted
+// and channel tags are re-derived from observed trip counts (see
+// compiler.Refine). Call before Run.
+func (sys *System) ApplyGateFeedback(prof compiler.GateProfile, p compiler.RefineParams) {
+	sys.gateProf = prof
+	sys.refineParams = p
+}
+
+// metadata compiles (and caches) the offload metadata for a kernel,
+// applying the installed gate-feedback refinement, if any.
 func (sys *System) metadata(k *isa.Kernel) (*compiler.Metadata, error) {
 	if md, ok := sys.mdCache[k]; ok {
 		return md, nil
@@ -159,6 +176,11 @@ func (sys *System) metadata(k *isa.Kernel) (*compiler.Metadata, error) {
 	md, err := compiler.Analyze(k, compiler.DefaultCostParams())
 	if err != nil {
 		return nil, err
+	}
+	if sys.gateProf != nil {
+		ref := compiler.Refine(md, sys.gateProf, sys.refineParams)
+		sys.stats.RefineDemoted += len(ref.Demoted)
+		sys.stats.RefineRetagged += len(ref.Retagged)
 	}
 	sys.mdCache[k] = md
 	return md, nil

@@ -17,11 +17,20 @@ type txn struct {
 // Packet size constants (bytes). The paper normalizes address/data/register
 // words to 4 B with acks a quarter of that; on the wire we add a 16 B
 // header per request/response, 128 B lines, and 4 B per live register lane.
+//
+// Offload request AND acknowledgment both carry offloadHdrBytes: §4.4.2's
+// protocol returns the live-out registers and dirty-line list to a specific
+// requesting warp, so the ack needs the same warp identity + region (PCs,
+// active mask) fields the request carries — not just the generic 16 B
+// transaction header. The compiler's eq. (3)/(4) cost model (internal/
+// compiler/cost.go) counts only the per-register and per-line payload units
+// and carries no header constant, so this wire-level choice does not feed
+// back into candidate selection.
 const (
 	reqHeaderBytes  = 16
 	lineRespExtra   = 16 // header on a data response
 	storeAckBytes   = 4
-	offloadHdrBytes = 32 // begin/end PC, active mask, warp ids
+	offloadHdrBytes = 32 // begin/end PC, active mask, warp identity (request & ack)
 	regLaneBytes    = 4
 	dirtyAddrBytes  = 8
 )

@@ -99,9 +99,27 @@ type Session = core.Session
 // like NewRunner(opts.Scale).
 func NewSession(opts SessionOptions) *Session { return core.NewSession(opts) }
 
+// AdaptOptions configures an adaptive (profile → refine → rerun) run:
+// the profiling scale fraction and the gate-rate refinement thresholds.
+// The zero value selects the defaults.
+type AdaptOptions = core.AdaptOptions
+
+// AdaptiveRun bundles the profiling pass and the refined full run of one
+// adaptive measurement.
+type AdaptiveRun = core.AdaptiveRun
+
+// RunAdaptive closes the offload-marking loop for one workload: a short
+// profiling run records where the runtime gated each candidate (per PC),
+// the compiler demotes candidates whose observed gate rate shows static
+// marking got it wrong and re-tags the 2-bit bandwidth hint from observed
+// trip counts, and the full run executes with the refined candidate set.
+func RunAdaptive(abbr string, system System, scale float64, o AdaptOptions) (*AdaptiveRun, error) {
+	return core.NewRunner(scale).RunAdaptive(abbr, system, o)
+}
+
 // Experiment reproduces one of the paper's figures/tables by ID: "fig2",
 // "fig3", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
-// "fig13", "xstack", "coherence", or "area".
+// "fig13", "xstack", "coherence", "adapt", or "area".
 func Experiment(id string, scale float64) (*Table, error) {
 	r := core.NewRunner(scale)
 	return r.Experiment(id)
