@@ -6,6 +6,7 @@
 //	tomsim -workload LIB -trace out.jsonl -metrics out.json
 //	tomsim -workload LIB -trace out.jsonl -trace-sample 64
 //	tomsim -workload LIB -adapt                       # profile -> refine -> rerun
+//	tomsim -workload LIB -adapt-iterate 3             # iterate to a fixed point
 //	tomsim -list
 //
 // -trace streams the offload lifecycle (candidate → gate/send → spawn →
@@ -23,6 +24,12 @@
 // observed trip counts, and the full run executes with the refined set.
 // Adaptive runs cache under their own spec digest. -adapt is incompatible
 // with -trace/-metrics (observe the static run instead).
+//
+// -adapt-iterate N iterates the loop to a fixed point: each pass profiles
+// with the refinement accumulated so far, and the loop stops when the
+// demoted/re-tagged candidate sets stabilize or after N passes. With
+// -cache, the converged refinement persists under -cache-dir/feedback/ and
+// a later invocation installs it without profiling.
 package main
 
 import (
@@ -50,9 +57,13 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "force-disable the persistent result cache")
 	cacheDir := flag.String("cache-dir", ".tomcache", "persistent result cache directory")
 	adapt := flag.Bool("adapt", false, "profile gate decisions, refine candidate marking, rerun")
+	adaptIterate := flag.Int("adapt-iterate", 0, "iterate profile->refine to a fixed point, bounded by N passes")
 	flag.Parse()
 
-	if *adapt && (*tracePath != "" || *metricsPath != "") {
+	if *adaptIterate < 0 {
+		fatal(fmt.Errorf("-adapt-iterate must be positive"))
+	}
+	if (*adapt || *adaptIterate > 0) && (*tracePath != "" || *metricsPath != "") {
 		fatal(fmt.Errorf("-adapt is incompatible with -trace/-metrics"))
 	}
 
@@ -100,7 +111,15 @@ func main() {
 
 	var res *tom.Result
 	var adaptive *tom.AdaptiveRun
-	if *adapt {
+	if *adaptIterate > 0 {
+		ad, err := s.RunAdaptiveIterated(*workload, core.ConfigName(*config),
+			tom.AdaptOptions{Iterations: *adaptIterate})
+		if err != nil {
+			fatal(err)
+		}
+		adaptive = ad
+		res = ad.Result
+	} else if *adapt {
 		ad, err := s.RunAdaptive(*workload, core.ConfigName(*config), tom.AdaptOptions{})
 		if err != nil {
 			fatal(err)
@@ -157,11 +176,27 @@ func main() {
 			st.LearnedBit, st.LearnInstances, st.LearnCycles, st.CopiedBytes)
 	}
 	if adaptive != nil {
-		p := &adaptive.Profile.Stats
-		fmt.Printf("adaptive       profile: %d candidate entries, %d gated; refined: %d demoted, %d re-tagged\n",
-			p.CandidateInstances, p.OffloadsSkipped(), st.RefineDemoted, st.RefineRetagged)
-		for _, pc := range p.PCStats.PCs() {
-			g := p.PCStats[pc]
+		// Report from the merged table, which exists whether the feedback
+		// was profiled this process or restored from the persisted store.
+		src := "profiled"
+		if adaptive.FromStore {
+			src = "from feedback store"
+		}
+		fmt.Printf("adaptive       %s (%d iterations); refined: %d demoted, %d re-tagged\n",
+			src, adaptive.Iterations, st.RefineDemoted, st.RefineRetagged)
+		for _, it := range adaptive.History {
+			fmt.Printf("               iter %d: %d decisions, demoted %d, re-tagged %d\n",
+				it.Iteration, it.Decisions, len(it.Demoted), len(it.Retagged))
+		}
+		if adaptive.Iterations > 1 || adaptive.Converged {
+			outcome := "iteration bound hit before a fixed point"
+			if adaptive.Converged {
+				outcome = fmt.Sprintf("converged at iteration %d", adaptive.ConvergedAt)
+			}
+			fmt.Printf("               %s\n", outcome)
+		}
+		for _, pc := range adaptive.Feedback.PCs() {
+			g := adaptive.Feedback[pc]
 			if g.Decisions() == 0 {
 				continue
 			}
@@ -181,6 +216,11 @@ func main() {
 		cs := s.CacheStats()
 		fmt.Fprintf(os.Stderr, "cache: dir=%s hits=%d simulated=%d\n",
 			dir, cs.DiskHits, cs.Simulated)
+	}
+	if *adaptIterate > 0 {
+		fs := s.FeedbackStats()
+		fmt.Fprintf(os.Stderr, "feedback: hits=%d misses=%d iterations=%d converged=%d\n",
+			fs.StoreHits, fs.StoreMisses, fs.Iterations, fs.Converged)
 	}
 }
 

@@ -101,6 +101,39 @@ func (p GateProfile) PCs() []int {
 	return pcs
 }
 
+// Merge accumulates q into p, PC by PC: every counter adds, so merging the
+// profiles of two runs yields the profile of their concatenation. Merge is
+// commutative and associative up to the resulting counts, never shares
+// GateStats pointers with q, and preserves the conservation identity — the
+// per-PC sum Sent + Gated() + LearnEntries of the merge equals the sum of
+// the inputs'. The iterated adaptive loop uses it to fold successive
+// profiling passes into one observed table.
+func (p GateProfile) Merge(q GateProfile) {
+	for pc, g := range q {
+		t := p.At(pc)
+		t.Sent += g.Sent
+		t.SkippedCond += g.SkippedCond
+		t.SkippedBusy += g.SkippedBusy
+		t.SkippedFull += g.SkippedFull
+		t.SkippedALU += g.SkippedALU
+		t.SkippedNoDest += g.SkippedNoDest
+		t.LearnEntries += g.LearnEntries
+		t.TripSum += g.TripSum
+		t.TripObs += g.TripObs
+	}
+}
+
+// Clone returns a deep copy of the profile (the iterated loop snapshots the
+// accumulated table before handing it to a simulator run).
+func (p GateProfile) Clone() GateProfile {
+	out := make(GateProfile, len(p))
+	for pc, g := range p {
+		cp := *g
+		out[pc] = &cp
+	}
+	return out
+}
+
 // RefineParams tune the feedback pass.
 type RefineParams struct {
 	// DemoteGateRate is the observed gate rate at or above which a

@@ -2,6 +2,8 @@ package compiler
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -145,5 +147,95 @@ func TestRefineUnobservedUntouched(t *testing.T) {
 	}
 	if loop.SavesTX != savesTX || loop.SavesRX != savesRX {
 		t.Error("empty profile changed the channel tag")
+	}
+}
+
+// randGateProfile builds a deterministic pseudo-random profile for the
+// Merge property tests. Sparse PCs and occasional zero buckets exercise the
+// allocate-on-merge path and disjoint-key unions.
+func randGateProfile(rng *rand.Rand) GateProfile {
+	p := GateProfile{}
+	for _, pc := range []int{3, 7, 14, 21, 40} {
+		if rng.Intn(3) == 0 {
+			continue
+		}
+		p[pc] = &GateStats{
+			Sent:          uint64(rng.Intn(50)),
+			SkippedCond:   uint64(rng.Intn(20)),
+			SkippedBusy:   uint64(rng.Intn(20)),
+			SkippedFull:   uint64(rng.Intn(20)),
+			SkippedALU:    uint64(rng.Intn(20)),
+			SkippedNoDest: uint64(rng.Intn(20)),
+			LearnEntries:  uint64(rng.Intn(10)),
+			TripSum:       uint64(rng.Intn(500)),
+			TripObs:       uint64(rng.Intn(30)),
+		}
+	}
+	return p
+}
+
+// accounted is the conservation quantity per profile: the per-PC sum
+// Sent + Gated() + LearnEntries, i.e. every candidate entry accounted once.
+func accounted(p GateProfile) uint64 {
+	var n uint64
+	for _, g := range p {
+		n += g.Sent + g.Gated() + g.LearnEntries
+	}
+	return n
+}
+
+// TestGateProfileMergeProperties: Merge must be commutative (up to the
+// resulting counts), must preserve the conservation identity — the merge
+// accounts for exactly the entries of both inputs — and must never share
+// GateStats pointers with its source, so mutating the merge cannot corrupt
+// the input profiles.
+func TestGateProfileMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		a, b := randGateProfile(rng), randGateProfile(rng)
+		wantAccounted := accounted(a) + accounted(b)
+
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge is not commutative:\na+b = %v\nb+a = %v", trial, ab, ba)
+		}
+		if got := accounted(ab); got != wantAccounted {
+			t.Fatalf("trial %d: conservation broken: merge accounts %d entries, inputs account %d",
+				trial, got, wantAccounted)
+		}
+
+		// Aliasing: corrupting the merge must leave the source untouched.
+		before := accounted(b)
+		for _, g := range ab {
+			g.Sent += 1000
+		}
+		if accounted(b) != before {
+			t.Fatalf("trial %d: Merge shared GateStats pointers with its source", trial)
+		}
+
+		// Clone independence.
+		c := a.Clone()
+		if !reflect.DeepEqual(c, a) {
+			t.Fatalf("trial %d: Clone differs from source", trial)
+		}
+		for _, g := range c {
+			g.TripSum += 7
+			break
+		}
+		if len(c) > 0 && reflect.DeepEqual(c, a) {
+			t.Fatalf("trial %d: Clone shares GateStats pointers with source", trial)
+		}
+	}
+
+	// Merging the empty profile is the identity.
+	rngID := rand.New(rand.NewSource(2))
+	p := randGateProfile(rngID)
+	q := p.Clone()
+	q.Merge(GateProfile{})
+	if !reflect.DeepEqual(p, q) {
+		t.Error("merging the empty profile must be the identity")
 	}
 }

@@ -109,13 +109,20 @@ func TestRunAdaptiveCachesAndRefines(t *testing.T) {
 func TestAdaptOptionDefaults(t *testing.T) {
 	o := AdaptOptions{}.withDefaults()
 	def := compiler.DefaultRefineParams()
-	if o.ProfileFrac != 0.25 || o.Refine != def {
+	if o.ProfileFrac != 0.25 || o.Refine != def || o.Iterations != DefaultAdaptIterations {
 		t.Fatalf("defaults = %+v", o)
 	}
 	sp := o.spec()
 	if sp.ProfileFrac != 0.25 || sp.DemoteGateRate != def.DemoteGateRate ||
-		sp.MinDecisions != def.MinDecisions {
+		sp.MinDecisions != def.MinDecisions || sp.Cost != def.Cost ||
+		sp.Iterations != DefaultAdaptIterations {
 		t.Fatalf("spec projection = %+v", sp)
+	}
+	// Partially-set refine params get the default cost model: a zero Cost
+	// would otherwise reach the simulator and mark with a zero warp size.
+	p := AdaptOptions{Refine: compiler.RefineParams{DemoteGateRate: 0.5, MinDecisions: 8}}.withDefaults()
+	if p.Refine.Cost != compiler.DefaultCostParams() {
+		t.Fatalf("zero Cost must default: %+v", p.Refine)
 	}
 }
 

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -130,6 +131,13 @@ type Options struct {
 	Fingerprint string
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(format string, args ...any)
+	// Obs, when non-nil, receives the session-level adaptive-control
+	// metrics (adapt.iterations, adapt.converged, feedback.store_hits,
+	// feedback.store_misses) and — when it carries a trace sink — the
+	// session-level lifecycle events (adapt_iter, adapt_done,
+	// feedback_store). This is the evaluation layer's observer, distinct
+	// from the per-run simulator observers RunObserved attaches.
+	Obs *obs.Observer
 }
 
 // CacheStats summarizes how a Session's runs were satisfied.
@@ -150,7 +158,9 @@ type Session struct {
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(format string, args ...any)
 
-	cache *DiskCache // nil = persistent layer disabled
+	cache    *DiskCache     // nil = persistent layer disabled
+	feedback *FeedbackStore // nil = persisted adaptive feedback disabled
+	obsv     *obs.Observer  // nil = session-level observability disabled
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -160,6 +170,7 @@ type Session struct {
 	runs     map[string]*RunResult // keyed by RunSpec digest
 	runKeys  map[string]string     // digest -> "ABBR/config" (diagnostics)
 	stats    CacheStats
+	fb       FeedbackStats
 
 	// profSessions holds lazily-created reduced-scale sub-sessions used by
 	// RunAdaptive's profiling pass, keyed by profile fraction. They share
@@ -186,7 +197,11 @@ func NewSession(opts Options) *Session {
 	}
 	if opts.CacheDir != "" {
 		s.cache = NewDiskCache(opts.CacheDir, opts.Fingerprint)
+		// Converged adaptive refinements persist beside the run records,
+		// under the same fingerprint gate (see docs/RUNCACHE.md).
+		s.feedback = NewFeedbackStore(filepath.Join(opts.CacheDir, "feedback"), opts.Fingerprint)
 	}
+	s.obsv = opts.Obs
 	return s
 }
 

@@ -16,7 +16,11 @@ import (
 // v2: ack packets charge the full offload header (sim/types.go), Stats
 // gained the per-PC gate table + nodest counter, and specs can carry an
 // adaptive-feedback component — v1 records describe a different machine.
-const cacheSchemaVersion = "tomcache/v2"
+// v3: AdaptSpec grew the cost model and the iterated-loop identity (v2
+// digests aliased adaptive runs that differed only in cost constants), the
+// simulator derives its marking cost model from the installed feedback
+// parameters, and profiling passes carry their own adapt marker.
+const cacheSchemaVersion = "tomcache/v3"
 
 // BuildFingerprint identifies the producing build: the cache schema version
 // plus, when the binary carries VCS stamps, the revision and dirty flag.

@@ -55,8 +55,14 @@ func (sp RunSpec) Digest() string {
 	fmt.Fprintf(h, "workload=%s;scale=%v;config=%s;%s",
 		sp.Abbr, sp.Scale, sp.Config, sp.Cfg.Canonical())
 	if a := sp.Adapt; a != nil {
-		fmt.Fprintf(h, "adapt=frac:%v,demote:%v,mindec:%d;",
-			a.ProfileFrac, a.DemoteGateRate, a.MinDecisions)
+		// Every feedback parameter participates, including the cost model
+		// (omitting CostParams once aliased adaptive runs that differed only
+		// in cost constants onto one cache record) and the iterated-loop
+		// identity: the iteration bound, which intermediate profiling pass
+		// this is, and the content hash of the gate profile the run applies.
+		fmt.Fprintf(h, "adapt=frac:%v,demote:%v,mindec:%d,cost:%+v,iters:%d,iter:%d,feedback:%s;",
+			a.ProfileFrac, a.DemoteGateRate, a.MinDecisions, a.Cost,
+			a.Iterations, a.Iteration, a.FeedbackDigest)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

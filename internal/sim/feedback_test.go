@@ -302,3 +302,71 @@ func TestGateFeedbackDemotesNoDestCandidate(t *testing.T) {
 		t.Errorf("refined run still hit %d nodest gates", st.OffloadsSkippedNoDest)
 	}
 }
+
+// TestFeedbackCostModelGovernsMarking: with gate feedback installed, the
+// initial candidate marking must evaluate the cost model of the installed
+// RefineParams, not the package default — otherwise a non-default
+// RefineParams.Cost would demote and re-tag candidates selected by a model
+// it never sees (the cost-model drift this PR fixes). A cost model under
+// which loads move no off-chip traffic makes the load-only while loop
+// unprofitable, so the candidate must not be marked at all; and installing
+// feedback whose Cost was left zero must fall back to the defaults rather
+// than marking with a zero warp size.
+func TestFeedbackCostModelGovernsMarking(t *testing.T) {
+	env := whileLoopEnv(t, 2, 8)
+	want := refMem(t, env)
+	cfg := DefaultConfig()
+	cfg.Mapping = MapBaseline
+	cfg.MaxCycles = 50_000_000
+
+	// Sanity: under the default model the loop is a candidate.
+	base := runSim(t, cfg, env)
+	if base.Stats().CandidateInstances == 0 {
+		t.Fatal("while loop not marked under the default cost model; test env broken")
+	}
+
+	newSys := func() *System {
+		m := env.mem.Clone()
+		alloc := mem.NewAllocTable()
+		for _, r := range env.alloc.Ranges {
+			alloc.Alloc(r.Name, r.Size)
+		}
+		return New(cfg, m, alloc)
+	}
+
+	// Free loads: the 8-load loop body saves nothing, so marking under this
+	// model must reject it. Before the fix metadata() analyzed with
+	// DefaultCostParams regardless, and the candidate survived.
+	stingy := compiler.DefaultRefineParams()
+	stingy.Cost.MissLD = 0
+	sys := newSys()
+	sys.ApplyGateFeedback(compiler.GateProfile{}, stingy)
+	if got := sys.costParams(); got != stingy.Cost {
+		t.Fatalf("costParams = %+v, want installed %+v", got, stingy.Cost)
+	}
+	if err := sys.Run(env.launches); err != nil {
+		t.Fatal(err)
+	}
+	if ok, addr := mem.Equal(want, sys.mem); !ok {
+		t.Fatalf("run diverged from reference at %#x", addr)
+	}
+	if st := sys.Stats(); st.CandidateInstances != 0 {
+		t.Errorf("candidate marked %d times under a cost model that rejects it "+
+			"(marking ignored the installed model)", st.CandidateInstances)
+	}
+
+	// Zero-Cost guard: RefineParams with no cost model fall back to the
+	// defaults (a zero WarpSize would otherwise mark garbage).
+	bare := compiler.RefineParams{DemoteGateRate: 0.9, MinDecisions: 16}
+	sys2 := newSys()
+	sys2.ApplyGateFeedback(compiler.GateProfile{}, bare)
+	if got := sys2.costParams(); got != compiler.DefaultCostParams() {
+		t.Fatalf("zero-Cost feedback: costParams = %+v, want defaults", got)
+	}
+	if err := sys2.Run(env.launches); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys2.Stats(); st.CandidateInstances == 0 {
+		t.Error("zero-Cost feedback suppressed marking entirely; defaults should apply")
+	}
+}

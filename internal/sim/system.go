@@ -167,13 +167,26 @@ func (sys *System) ApplyGateFeedback(prof compiler.GateProfile, p compiler.Refin
 	sys.refineParams = p
 }
 
+// costParams returns the cost model every metadata table of this System is
+// marked with. With gate feedback installed it is the refinement's own
+// CostParams (falling back to the defaults when the caller left them zero):
+// initial marking and Refine re-tagging must evaluate equations (3)/(4)
+// under the same constants, or a non-default RefineParams.Cost would demote
+// and re-tag candidates selected by a model it never sees.
+func (sys *System) costParams() compiler.CostParams {
+	if sys.gateProf != nil && sys.refineParams.Cost != (compiler.CostParams{}) {
+		return sys.refineParams.Cost
+	}
+	return compiler.DefaultCostParams()
+}
+
 // metadata compiles (and caches) the offload metadata for a kernel,
 // applying the installed gate-feedback refinement, if any.
 func (sys *System) metadata(k *isa.Kernel) (*compiler.Metadata, error) {
 	if md, ok := sys.mdCache[k]; ok {
 		return md, nil
 	}
-	md, err := compiler.Analyze(k, compiler.DefaultCostParams())
+	md, err := compiler.Analyze(k, sys.costParams())
 	if err != nil {
 		return nil, err
 	}
