@@ -4,17 +4,21 @@
 //	tomsim -workload LIB -config ctrl-tmap -scale 1.0
 //	tomsim -workload LIB -cache                       # replay from .tomcache/
 //	tomsim -workload LIB -trace out.jsonl -metrics out.json
+//	tomsim -workload LIB -trace out.trace -trace-format binary
 //	tomsim -workload LIB -trace out.jsonl -trace-sample 64
 //	tomsim -workload LIB -adapt                       # profile -> refine -> rerun
 //	tomsim -workload LIB -adapt-iterate 3             # iterate to a fixed point
 //	tomsim -list
 //
 // -trace streams the offload lifecycle (candidate → gate/send → spawn →
-// ack → finish) as JSON lines; -trace-sample N keeps one event in N per
-// kind, bounding trace volume on full-scale runs. -metrics writes the
+// ack → finish); -trace-format selects JSON lines (the default) or the
+// compact binary encoding — decode, filter, or convert the latter with
+// cmd/tomtrace. -trace-sample N keeps one event in N per kind, bounding
+// trace volume on full-scale runs (the trace then ends with per-kind
+// trace_sampled summaries of what was thinned). -metrics writes the
 // end-of-run registry snapshot — per-interval off-chip traffic, per-stack
 // pending-offload occupancy, link utilization, and queue depths. See
-// docs/OBSERVABILITY.md for both schemas. -cache persists and replays
+// docs/OBSERVABILITY.md for all three schemas. -cache persists and replays
 // plain (unobserved) runs under -cache-dir; observed runs always execute,
 // since only an execution can produce time series.
 //
@@ -49,7 +53,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "problem-size scale factor")
 	compare := flag.Bool("compare", true, "also run the baseline and report speedup")
 	list := flag.Bool("list", false, "list workloads and configurations")
-	tracePath := flag.String("trace", "", "write offload-lifecycle events to this JSONL file")
+	tracePath := flag.String("trace", "", "write offload-lifecycle events to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or binary")
 	traceSample := flag.Int("trace-sample", 1, "keep one trace event in N per event kind (1 = keep all)")
 	metricsPath := flag.String("metrics", "", "write the metrics snapshot to this JSON file")
 	interval := flag.Int64("interval", 0, "metrics sampling interval in cycles (0 = default)")
@@ -89,18 +94,21 @@ func main() {
 	s := tom.NewSession(opts)
 
 	var observer *obs.Observer
-	var sink *obs.JSONLSink
 	var traceFile *os.File
 	if *tracePath != "" || *metricsPath != "" {
 		observer = obs.New()
 		observer.SampleEvery = *interval
 		if *tracePath != "" {
+			format, err := obs.ParseFormat(*traceFormat)
+			if err != nil {
+				fatal(err)
+			}
 			f, err := os.Create(*tracePath)
 			if err != nil {
 				fatal(err)
 			}
 			traceFile = f
-			sink = obs.NewJSONLSink(f)
+			sink := obs.NewSink(f, format)
 			if *traceSample > 1 {
 				observer.Trace = obs.NewSamplingSink(sink, *traceSample)
 			} else {
@@ -133,8 +141,10 @@ func main() {
 		}
 		res = r
 	}
-	if sink != nil {
-		if err := sink.Flush(); err != nil {
+	if traceFile != nil {
+		// Flushing the chain also makes a sampling sink append its per-kind
+		// trace_sampled summaries before the encoder drains.
+		if err := obs.Flush(observer.Trace); err != nil {
 			fatal(fmt.Errorf("trace: %w", err))
 		}
 		if err := traceFile.Close(); err != nil {

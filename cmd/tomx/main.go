@@ -4,9 +4,17 @@
 //	tomx -exp fig8 -scale 0.5             # one experiment
 //	tomx -exp fig8 -cache                 # reuse .tomcache/ results across runs
 //	tomx -exp fig9 -metrics fig9.json     # plus the time-resolved traffic export
+//	tomx -exp fig9 -trace fig9.trace -trace-format binary -trace-sample 16
 //	tomx -exp adapt                       # static vs. gate-feedback-refined control
 //	tomx -exp adapt -iterate 3            # iterate feedback to a fixed point
 //	tomx -markdown                        # emit EXPERIMENTS.md-style markdown
+//
+// -trace captures the offload lifecycle of every Fig. 9 run (baseline plus
+// the four policies) into one stream, each event stamped with its
+// "ABBR/config" run label; -trace-format binary selects the compact
+// encoding (decode or convert with cmd/tomtrace) and -trace-sample N thins
+// to one event in N per kind per run, with trace_sampled summaries saying
+// what was dropped.
 //
 // With -cache, verified results persist under -cache-dir keyed by run-spec
 // digest and build fingerprint (see docs/RUNCACHE.md): a second identical
@@ -25,6 +33,7 @@ import (
 	"strings"
 
 	tom "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -33,6 +42,9 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	metrics := flag.String("metrics", "", "with -exp fig9: write per-interval off-chip traffic snapshots to this JSON file")
+	trace := flag.String("trace", "", "with -exp fig9: write all runs' offload-lifecycle events to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace encoding: jsonl or binary")
+	traceSample := flag.Int("trace-sample", 1, "keep one trace event in N per event kind per run (1 = keep all)")
 	interval := flag.Int64("interval", 0, "metrics sampling interval in cycles (0 = default)")
 	cache := flag.Bool("cache", false, "persist and replay verified results under -cache-dir")
 	noCache := flag.Bool("no-cache", false, "force-disable the persistent result cache")
@@ -42,6 +54,9 @@ func main() {
 
 	if *metrics != "" && *exp != "fig9" {
 		fatal(fmt.Errorf("-metrics is the time-resolved Fig. 9 export; use it with -exp fig9"))
+	}
+	if *trace != "" && *exp != "fig9" {
+		fatal(fmt.Errorf("-trace is the Fig. 9 lifecycle export; use it with -exp fig9"))
 	}
 	if *iterate < 0 {
 		fatal(fmt.Errorf("-iterate must be positive"))
@@ -90,21 +105,47 @@ func main() {
 		}
 	}
 
-	if *metrics != "" {
+	if *metrics != "" || *trace != "" {
 		// The totals above came from memoized runs; the timeline reruns the
-		// same configurations with observers to add the time axis.
-		snaps, err := s.Fig9Timeline(*interval)
+		// same configurations with observers to add the time axis (and,
+		// with -trace, the labeled lifecycle stream).
+		var sink obs.EventSink
+		var traceFile *os.File
+		if *trace != "" {
+			format, err := obs.ParseFormat(*traceFormat)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			traceFile = f
+			sink = obs.NewSink(f, format)
+		}
+		snaps, err := s.Fig9Timeline(*interval, sink, *traceSample)
 		if err != nil {
 			fatal(err)
 		}
-		data, err := json.MarshalIndent(snaps, "", " ")
-		if err != nil {
-			fatal(err)
+		if traceFile != nil {
+			if err := obs.Flush(sink); err != nil {
+				fatal(fmt.Errorf("trace: %w", err))
+			}
+			if err := traceFile.Close(); err != nil {
+				fatal(fmt.Errorf("trace: %w", err))
+			}
+			fmt.Fprintf(os.Stderr, "wrote the lifecycle trace for %d runs to %s\n", len(snaps), *trace)
 		}
-		if err := os.WriteFile(*metrics, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
+		if *metrics != "" {
+			data, err := json.MarshalIndent(snaps, "", " ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*metrics, append(data, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote per-interval traffic for %d runs to %s\n", len(snaps), *metrics)
 		}
-		fmt.Fprintf(os.Stderr, "wrote per-interval traffic for %d runs to %s\n", len(snaps), *metrics)
 	}
 
 	if dir := s.CacheDir(); dir != "" {

@@ -219,7 +219,12 @@ func (r *Runner) Fig9() (*Table, error) {
 // obs.DefaultSampleEvery). The runs execute in parallel, each with a
 // scoped view of one shared registry (see ObsPolicy); every snapshot is
 // identical to what a serial run with a private registry would produce.
-func (r *Runner) Fig9Timeline(interval int64) (map[string]*obs.Snapshot, error) {
+//
+// trace, when non-nil, receives every run's lifecycle events, stamped with
+// the "ABBR/config" run label and thinned to one in traceSample per kind
+// per run when traceSample > 1 (tomx -exp fig9 -trace). The caller owns
+// the sink and flushes it after the call returns.
+func (r *Runner) Fig9Timeline(interval int64, trace obs.EventSink, traceSample int) (map[string]*obs.Snapshot, error) {
 	var pairs []Pair
 	for _, cfg := range append([]ConfigName{CfgBaseline}, fig9Configs()...) {
 		for _, abbr := range Abbrs() {
@@ -229,6 +234,8 @@ func (r *Runner) Fig9Timeline(interval int64) (map[string]*obs.Snapshot, error) 
 	snaps, err := r.WarmObserved(pairs, ObsPolicy{
 		Registry:    obs.NewRegistry(),
 		SampleEvery: interval,
+		Trace:       trace,
+		TraceSample: traceSample,
 	})
 	if err != nil {
 		return nil, err

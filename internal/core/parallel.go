@@ -148,6 +148,12 @@ func (s *Session) WarmObserved(pairs []Pair, policy ObsPolicy) (map[Pair]*obs.Sn
 		if _, err := s.RunObserved(p.Abbr, p.Config, o); err != nil {
 			return err
 		}
+		// Flush the run's sink chain: a sampling sink emits its per-kind
+		// trace_sampled summaries here (labeled with this run), so the
+		// shared trace states per run what was sampled away.
+		if err := obs.Flush(o.Trace); err != nil {
+			return err
+		}
 		outMu.Lock()
 		out[p] = scoped.Snapshot()
 		outMu.Unlock()

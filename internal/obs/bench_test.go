@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// benchEvents is a small realistic lifecycle slice cycled through by the
+// Emit benchmarks.
+var benchEvents = []Event{
+	{Cycle: 100, Kind: EvCandidate, SM: 12, PC: 3},
+	{Cycle: 101, Kind: EvGate, SM: 12, Stack: 2, PC: 3, Reason: "busy"},
+	{Cycle: 140, Kind: EvSend, SM: 12, Stack: 2, PC: 3, Bytes: 160},
+	{Cycle: 180, Kind: EvSpawn, SM: 70, Stack: 2, PC: 3},
+	{Cycle: 400, Kind: EvAck, SM: 70, Stack: 2, PC: 3, Bytes: 96},
+	{Cycle: 440, Kind: EvFinish, SM: 12, Stack: 2, PC: 3, N: 4},
+}
+
+// BenchmarkSinkEmit compares the per-event encoding cost of the two trace
+// formats on the same lifecycle stream.
+func BenchmarkSinkEmit(b *testing.B) {
+	b.Run("jsonl", func(b *testing.B) {
+		sink := NewJSONLSink(io.Discard)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev := benchEvents[i%len(benchEvents)]
+			ev.Cycle += int64(i)
+			sink.Emit(ev)
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		sink := NewBinarySink(io.Discard)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev := benchEvents[i%len(benchEvents)]
+			ev.Cycle += int64(i)
+			sink.Emit(ev)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Format names one of the two trace encodings.
+type Format int
+
+const (
+	// FormatJSONL is one JSON object per line (JSONLSink).
+	FormatJSONL Format = iota
+	// FormatBinary is the compact varint/delta encoding (BinarySink).
+	FormatBinary
+)
+
+// String returns the flag spelling of the format.
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "binary"
+	}
+	return "jsonl"
+}
+
+// ParseFormat maps a flag value ("jsonl" or "binary") to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "jsonl":
+		return FormatJSONL, nil
+	case "binary":
+		return FormatBinary, nil
+	}
+	return 0, fmt.Errorf("obs: unknown trace format %q (want jsonl or binary)", s)
+}
+
+// EventReader yields a trace's events in stream order; Next returns io.EOF
+// at a clean end of input.
+type EventReader interface {
+	Next() (Event, error)
+}
+
+// JSONLReader decodes a JSON-lines trace (the JSONLSink encoding).
+type JSONLReader struct {
+	dec *json.Decoder
+}
+
+// NewJSONLReader reads events from r.
+func NewJSONLReader(r io.Reader) *JSONLReader {
+	return &JSONLReader{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next event, or io.EOF at end of input.
+func (d *JSONLReader) Next() (Event, error) {
+	var ev Event
+	if err := d.dec.Decode(&ev); err != nil {
+		return ev, err
+	}
+	return ev, nil
+}
+
+// NewReader detects the trace format of r by its leading bytes (the binary
+// magic, else JSONL) and returns the matching decoder.
+func NewReader(r io.Reader) (EventReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	if string(head) == binaryMagic {
+		return NewBinaryReader(br)
+	}
+	return NewJSONLReader(br), nil
+}
+
+// FlushingSink is an EventSink that buffers and must be flushed before the
+// underlying writer is closed (both trace encoders are one).
+type FlushingSink interface {
+	EventSink
+	Flusher
+}
+
+// NewSink returns the encoder for the given format over w.
+func NewSink(w io.Writer, f Format) FlushingSink {
+	if f == FormatBinary {
+		return NewBinarySink(w)
+	}
+	return NewJSONLSink(w)
+}
+
+// Filter selects a subset of a trace. The zero value matches everything;
+// each set constraint must hold (conjunction).
+type Filter struct {
+	// Kinds, when non-empty, keeps only events whose Kind is listed.
+	Kinds []string
+	// Run, when non-empty, keeps only events with this run label.
+	Run string
+	// Stack, when non-nil, keeps only events on this stack id (use -1 for
+	// events that fired before a destination was known).
+	Stack *int
+}
+
+// Match reports whether ev passes the filter.
+func (f *Filter) Match(ev Event) bool {
+	if f == nil {
+		return true
+	}
+	if len(f.Kinds) > 0 {
+		ok := false
+		for _, k := range f.Kinds {
+			if ev.Kind == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.Run != "" && ev.Run != f.Run {
+		return false
+	}
+	if f.Stack != nil && ev.Stack != *f.Stack {
+		return false
+	}
+	return true
+}
+
+// Convert streams a trace from in (format auto-detected) to out in the
+// requested format, keeping only events the filter matches (nil keeps
+// everything). It returns how many events were read and written. Because
+// both decoders yield identical Event values and both encoders are
+// deterministic, converting a binary trace to JSONL reproduces the native
+// JSONL encoding of the same run byte for byte (and vice versa).
+func Convert(in io.Reader, out io.Writer, to Format, filter *Filter) (read, written int, err error) {
+	r, err := NewReader(in)
+	if err != nil {
+		return 0, 0, err
+	}
+	sink := NewSink(out, to)
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return read, written, err
+		}
+		read++
+		if !filter.Match(ev) {
+			continue
+		}
+		sink.Emit(ev)
+		written++
+	}
+	return read, written, sink.Flush()
+}

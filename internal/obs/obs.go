@@ -55,8 +55,10 @@ func (o *Observer) Emit(ev Event) {
 }
 
 // Event is one structured trace record. Kind identifies the lifecycle step;
-// the remaining fields are populated as applicable (and omitted from JSON
-// when zero).
+// which of the remaining fields carry meaning is a per-kind property (see
+// docs/OBSERVABILITY.md). SM, Stack, and PC always serialize — SM 0, stack 0,
+// and PC 0 are legitimate values, so they must stay distinguishable from an
+// inapplicable field; "no stack" is encoded as Stack -1, never by omission.
 type Event struct {
 	Cycle int64  `json:"cycle"`
 	Kind  string `json:"kind"`
@@ -64,21 +66,32 @@ type Event struct {
 	// share one sink (see LabelSink); empty for single-run traces.
 	Run string `json:"run,omitempty"`
 	// SM is the emitting streaming multiprocessor's global id.
-	SM int `json:"sm,omitempty"`
-	// Stack is the memory stack involved (destination for offloads).
-	Stack int `json:"stack,omitempty"`
+	SM int `json:"sm"`
+	// Stack is the memory stack involved (destination for offloads);
+	// -1 when the step fired before a destination was known (gate events
+	// with reason cond or nodest).
+	Stack int `json:"stack"`
 	// PC is the candidate region's start PC.
-	PC int `json:"pc,omitempty"`
-	// Reason qualifies gate events (busy, full, cond, alu).
+	PC int `json:"pc"`
+	// Reason qualifies gate events (busy, full, cond, alu, nodest) and
+	// names the sampled kind on trace_sampled summaries.
 	Reason string `json:"reason,omitempty"`
 	// Bytes is the payload size on the wire for send/ack events.
 	Bytes int `json:"bytes,omitempty"`
 	// N is an event-specific count (dirty lines invalidated, learning
-	// instances observed).
+	// instances observed, events seen on trace_sampled summaries).
 	N int `json:"n,omitempty"`
-	// Bit is the learned mapping bit on learn-end events (-1 = none).
-	Bit int `json:"bit,omitempty"`
+	// Bit is the learned mapping bit on learn-end events; nil when the
+	// learning phase closed without picking a bit (and on every other
+	// kind). A pointer so a learned bit of 0 round-trips unambiguously.
+	Bit *int `json:"bit,omitempty"`
+	// Kept is the number of events forwarded per kind on trace_sampled
+	// summaries (N - Kept were dropped).
+	Kept int `json:"kept,omitempty"`
 }
+
+// BitValue returns a pointer to b, for building learn-end events.
+func BitValue(b int) *int { return &b }
 
 // Event kinds emitted by the simulator (see docs/OBSERVABILITY.md).
 const (
@@ -90,6 +103,12 @@ const (
 	EvFinish    = "finish"    // requesting warp resumed (N dirty lines)
 	EvLearnEnd  = "learn_end" // tmap learning phase closed
 )
+
+// EvTraceSampled is the synthetic per-kind summary a SamplingSink emits when
+// it is flushed: Reason names the sampled kind, N counts the events seen and
+// Kept the events forwarded, so a thinned trace states what was sampled away
+// (seen = kept + dropped).
+const EvTraceSampled = "trace_sampled"
 
 // Event kinds emitted by the evaluation layer's adaptive control loop
 // (internal/core). Cycle is always 0 — these are session-level steps, not
@@ -110,4 +129,21 @@ const (
 // concurrent Emit calls.
 type EventSink interface {
 	Emit(Event)
+}
+
+// Flusher is implemented by sinks that buffer, summarize, or wrap other
+// sinks. Flush drains whatever the sink holds back — buffered bytes,
+// pending trace_sampled summaries — and propagates through wrapper chains
+// to the innermost sink. Call it once, after the last Emit.
+type Flusher interface {
+	Flush() error
+}
+
+// Flush flushes s if it (or whatever it wraps) implements Flusher; sinks
+// with nothing to flush are a no-op.
+func Flush(s EventSink) error {
+	if f, ok := s.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
 }

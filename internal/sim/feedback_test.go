@@ -106,6 +106,9 @@ func TestNoDestGateCountedAndTraced(t *testing.T) {
 			if ev.Reason != "nodest" {
 				t.Fatalf("unexpected gate reason %q", ev.Reason)
 			}
+			if ev.Stack != -1 {
+				t.Fatalf("nodest gate carries stack %d, want -1 (no destination)", ev.Stack)
+			}
 			nodest++
 		}
 	}

@@ -136,7 +136,9 @@ func (ob *obsState) flush(sys *System) {
 
 // obGate records one suppressed offload: the per-reason counter plus a gate
 // trace event. dest < 0 means the gate fired before a destination stack was
-// known (the conditional-trip check, or a failed destination dry run).
+// known (the conditional-trip check, or a failed destination dry run) and is
+// carried into the event as Stack -1 — stack 0 is a real stack, so absence
+// must be encoded explicitly, never by leaving the field zero.
 // Callers go through System.gate, which also maintains the Stats twins and
 // the per-PC decision table.
 func (sys *System) obGate(now int64, sm *SM, cand *compiler.Candidate, dest int, reason string) {
@@ -156,11 +158,11 @@ func (sys *System) obGate(now int64, sm *SM, cand *compiler.Candidate, dest int,
 	case "nodest":
 		ob.skipNoDest.Inc()
 	}
-	ev := obs.Event{Cycle: now, Kind: obs.EvGate, SM: sm.id, PC: cand.StartPC, Reason: reason}
-	if dest >= 0 {
-		ev.Stack = dest
+	if dest < 0 {
+		dest = -1
 	}
-	ob.o.Emit(ev)
+	ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvGate, SM: sm.id, Stack: dest,
+		PC: cand.StartPC, Reason: reason})
 }
 
 // occupancy counts a stack's DRAM work: queued requests plus issued bursts

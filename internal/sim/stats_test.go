@@ -149,8 +149,17 @@ func TestObserverLearningPhase(t *testing.T) {
 		t.Fatalf("learn_end events = %d, want 1", got)
 	}
 	for _, ev := range sink.Events() {
-		if ev.Kind == obs.EvLearnEnd && ev.Bit != sys.Stats().LearnedBit {
-			t.Errorf("learn_end bit = %d, stats say %d", ev.Bit, sys.Stats().LearnedBit)
+		if ev.Kind != obs.EvLearnEnd {
+			continue
+		}
+		// LearnedBit -1 (no bit picked) maps to a nil Bit; any picked bit —
+		// including bit 0 — must arrive as a non-nil pointer to that value.
+		if want := sys.Stats().LearnedBit; want < 0 {
+			if ev.Bit != nil {
+				t.Errorf("learn_end bit = %d, stats say none", *ev.Bit)
+			}
+		} else if ev.Bit == nil || *ev.Bit != want {
+			t.Errorf("learn_end bit = %v, stats say %d", ev.Bit, want)
 		}
 	}
 	if sys.Stats().PCIeBytes == 0 {

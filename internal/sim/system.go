@@ -244,8 +244,13 @@ func (sys *System) endLearning() {
 	sys.stats.LearnCycles = sys.now
 	if sys.ob != nil {
 		defer func() {
-			sys.ob.o.Emit(obs.Event{Cycle: sys.now, Kind: obs.EvLearnEnd,
-				N: sys.learnSeen, Bit: sys.stats.LearnedBit})
+			ev := obs.Event{Cycle: sys.now, Kind: obs.EvLearnEnd, N: sys.learnSeen}
+			// Bit 0 is a legitimate learned bit; only a phase that picked
+			// no bit at all leaves the field nil.
+			if bit := sys.stats.LearnedBit; bit >= 0 {
+				ev.Bit = obs.BitValue(bit)
+			}
+			sys.ob.o.Emit(ev)
 		}()
 	}
 	if sys.learnSeen == 0 {
