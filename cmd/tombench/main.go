@@ -1,0 +1,329 @@
+// Command tombench measures timing-simulator throughput over the Fig. 9
+// workload×configuration matrix and commits the result as a benchmark
+// trajectory file (BENCH_<date>.json).
+//
+// For every cell (workload abbreviation × named configuration) it runs the
+// simulation once per requested loop mode ("event" — the default
+// event-driven loop that jumps idle cycles — and "percycle" — the legacy
+// tick-every-cycle loop) and records simulated cycles, wall time, simulated
+// cycles per second, and heap allocations per simulated cycle.
+//
+// With -compare, tombench instead re-runs the matrix and checks the result
+// against a previously committed baseline file, failing (exit 1) when a
+// machine-independent metric regresses beyond -threshold:
+//
+//   - the event/percycle speedup ratio (how much work the event loop skips),
+//   - allocations per simulated cycle (the hot-loop allocation budget),
+//   - the simulated cycle count of every cell (a determinism check: any
+//     drift means the model changed and the baseline must be regenerated).
+//
+// Wall-clock metrics are recorded for human inspection but never compared —
+// they depend on the machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// benchSchemaVersion identifies the BENCH_*.json layout.
+const benchSchemaVersion = "tombench/v1"
+
+// fig9Configs is the benchmark matrix's configuration axis: the paper's
+// Fig. 9 set (baseline + the four offload/mapping policies). The tmap
+// configurations exercise the learning phase (PCIe round trips, the
+// end-of-learning freeze window) whose idle stretches the event-driven
+// loop exists to skip.
+var fig9Configs = []core.ConfigName{
+	core.CfgBaseline,
+	core.CfgNoCtrlBmap,
+	core.CfgNoCtrlTmap,
+	core.CfgCtrlBmap,
+	core.CfgCtrlTmap,
+}
+
+// Cell is one (workload, config, loop-mode) measurement.
+type Cell struct {
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	Loop     string  `json:"loop"`
+	Cycles   int64   `json:"simulated_cycles"`
+	WallNS   int64   `json:"wall_ns"`
+	CyclesPS float64 `json:"cycles_per_sec"`
+	Allocs   uint64  `json:"allocs"`
+	AllocsPC float64 `json:"allocs_per_cycle"`
+}
+
+// LoopTotal aggregates one loop mode across the whole matrix.
+type LoopTotal struct {
+	Cycles   int64   `json:"simulated_cycles"`
+	WallNS   int64   `json:"wall_ns"`
+	CyclesPS float64 `json:"cycles_per_sec"`
+	Allocs   uint64  `json:"allocs"`
+	AllocsPC float64 `json:"allocs_per_cycle"`
+}
+
+// Report is the BENCH_<date>.json document.
+type Report struct {
+	Schema string  `json:"schema"`
+	Date   string  `json:"date"`
+	Scale  float64 `json:"scale"`
+	// GoVersion and GOOS/GOARCH contextualize the wall-clock numbers;
+	// comparisons never use them.
+	GoVersion string               `json:"go_version"`
+	Platform  string               `json:"platform"`
+	Cells     []Cell               `json:"cells"`
+	Totals    map[string]LoopTotal `json:"totals"`
+	// Speedup is total event-loop cycles/sec over total per-cycle
+	// cycles/sec; present only when both loop modes ran.
+	Speedup float64 `json:"event_speedup,omitempty"`
+}
+
+func main() {
+	var (
+		scale     = flag.Float64("scale", 0.1, "problem-size scale for every workload")
+		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json, or none with -compare)")
+		loop      = flag.String("loop", "both", "loop modes to run: event, percycle, or both")
+		compare   = flag.String("compare", "", "baseline BENCH_*.json to check against (regression mode)")
+		threshold = flag.Float64("threshold", 0.15, "relative regression tolerance for -compare")
+		date      = flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the report")
+	)
+	flag.Parse()
+
+	var modes []string
+	switch *loop {
+	case "both":
+		modes = []string{"event", "percycle"}
+	case "event", "percycle":
+		modes = []string{*loop}
+	default:
+		fmt.Fprintf(os.Stderr, "tombench: -loop must be event, percycle, or both (got %q)\n", *loop)
+		os.Exit(2)
+	}
+
+	rep, err := runMatrix(*scale, modes, *date)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tombench: %v\n", err)
+		os.Exit(1)
+	}
+	printSummary(rep)
+
+	if *compare != "" {
+		base, err := loadReport(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tombench: %v\n", err)
+			os.Exit(1)
+		}
+		if errs := compareReports(base, rep, *threshold); len(errs) > 0 {
+			fmt.Fprintf(os.Stderr, "\ntombench: %d regression(s) vs %s:\n", len(errs), *compare)
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "  - %s\n", e)
+			}
+			fmt.Fprintln(os.Stderr, "\nIf the simulation model intentionally changed (cycle counts moved),"+
+				"\nregenerate the baseline: go run ./cmd/tombench -out <baseline>.json")
+			os.Exit(1)
+		}
+		fmt.Printf("\nOK: no regressions vs %s (threshold %.0f%%)\n", *compare, *threshold*100)
+		if *out == "" {
+			return
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tombench: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tombench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}
+
+// runMatrix executes every cell of the matrix for each loop mode and
+// assembles the report. Workload instances are built once per abbreviation
+// and cloned per run so all cells start from identical inputs.
+func runMatrix(scale float64, modes []string, date string) (*Report, error) {
+	rep := &Report{
+		Schema:    benchSchemaVersion,
+		Date:      date,
+		Scale:     scale,
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+		Totals:    map[string]LoopTotal{},
+	}
+	for _, abbr := range core.Abbrs() {
+		w, err := workloads.ByAbbr(abbr)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := w.Build(scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s: build: %w", abbr, err)
+		}
+		for _, name := range fig9Configs {
+			sp, err := core.NewRunSpec(abbr, scale, name)
+			if err != nil {
+				return nil, err
+			}
+			for _, mode := range modes {
+				cell, err := runCell(inst, sp, mode)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", abbr, name, mode, err)
+				}
+				rep.Cells = append(rep.Cells, cell)
+				fmt.Printf("%-4s %-12s %-8s %12d cycles %10.0f cyc/s %7.2f allocs/cyc\n",
+					abbr, name, mode, cell.Cycles, cell.CyclesPS, cell.AllocsPC)
+			}
+		}
+	}
+	for _, c := range rep.Cells {
+		t := rep.Totals[c.Loop]
+		t.Cycles += c.Cycles
+		t.WallNS += c.WallNS
+		t.Allocs += c.Allocs
+		rep.Totals[c.Loop] = t
+	}
+	for mode, t := range rep.Totals {
+		if t.WallNS > 0 {
+			t.CyclesPS = float64(t.Cycles) / (float64(t.WallNS) / 1e9)
+		}
+		if t.Cycles > 0 {
+			t.AllocsPC = float64(t.Allocs) / float64(t.Cycles)
+		}
+		rep.Totals[mode] = t
+	}
+	ev, okE := rep.Totals["event"]
+	pc, okP := rep.Totals["percycle"]
+	if okE && okP && pc.CyclesPS > 0 {
+		rep.Speedup = ev.CyclesPS / pc.CyclesPS
+	}
+	return rep, nil
+}
+
+// runCell simulates one cell: clone the instance, run, and measure.
+func runCell(inst *workloads.Instance, sp core.RunSpec, mode string) (Cell, error) {
+	run := inst.Clone()
+	cfg := sp.Cfg
+	cfg.MaxCycles = 500_000_000
+	sys := sim.New(cfg, run.Mem, run.Alloc)
+	sys.SetPerCycleLoop(mode == "percycle")
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := sys.Run(run.Launches)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Cell{}, err
+	}
+
+	cycles := sys.Stats().Cycles
+	cell := Cell{
+		Workload: sp.Abbr,
+		Config:   string(sp.Config),
+		Loop:     mode,
+		Cycles:   cycles,
+		WallNS:   wall.Nanoseconds(),
+		Allocs:   after.Mallocs - before.Mallocs,
+	}
+	if wall > 0 {
+		cell.CyclesPS = float64(cycles) / wall.Seconds()
+	}
+	if cycles > 0 {
+		cell.AllocsPC = float64(cell.Allocs) / float64(cycles)
+	}
+	return cell, nil
+}
+
+func printSummary(rep *Report) {
+	fmt.Println()
+	for _, mode := range []string{"event", "percycle"} {
+		if t, ok := rep.Totals[mode]; ok {
+			fmt.Printf("%-8s total: %d cycles in %v — %.0f cycles/s, %.2f allocs/cycle\n",
+				mode, t.Cycles, time.Duration(t.WallNS), t.CyclesPS, t.AllocsPC)
+		}
+	}
+	if rep.Speedup > 0 {
+		fmt.Printf("event-driven speedup over per-cycle: %.2fx\n", rep.Speedup)
+	}
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != benchSchemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, this binary expects %q", path, rep.Schema, benchSchemaVersion)
+	}
+	return &rep, nil
+}
+
+// compareReports checks cur against base and returns one message per
+// violated machine-independent invariant.
+func compareReports(base, cur *Report, threshold float64) []string {
+	var errs []string
+	if base.Scale != cur.Scale {
+		errs = append(errs, fmt.Sprintf("scale mismatch: baseline %v, current %v — rerun with -scale %v",
+			base.Scale, cur.Scale, base.Scale))
+		return errs
+	}
+
+	// Determinism: every cell present in both reports must simulate the
+	// exact same number of cycles. Any drift means the model changed.
+	baseCells := map[string]Cell{}
+	for _, c := range base.Cells {
+		baseCells[c.Workload+"/"+c.Config+"/"+c.Loop] = c
+	}
+	for _, c := range cur.Cells {
+		key := c.Workload + "/" + c.Config + "/" + c.Loop
+		b, ok := baseCells[key]
+		if !ok {
+			continue
+		}
+		if b.Cycles != c.Cycles {
+			errs = append(errs, fmt.Sprintf("%s: simulated %d cycles, baseline %d — model changed, baseline is stale",
+				key, c.Cycles, b.Cycles))
+		}
+	}
+
+	// Allocation budget: allocs/cycle may not grow beyond threshold.
+	for mode, bt := range base.Totals {
+		ct, ok := cur.Totals[mode]
+		if !ok {
+			continue
+		}
+		if bt.AllocsPC > 0 && ct.AllocsPC > bt.AllocsPC*(1+threshold) {
+			errs = append(errs, fmt.Sprintf("%s loop: %.3f allocs/cycle, baseline %.3f (+%.0f%% > %.0f%% tolerance)",
+				mode, ct.AllocsPC, bt.AllocsPC, (ct.AllocsPC/bt.AllocsPC-1)*100, threshold*100))
+		}
+	}
+
+	// Speedup ratio: machine-independent to first order (both loops run on
+	// the same machine in the same process), may not shrink beyond threshold.
+	if base.Speedup > 0 && cur.Speedup > 0 && cur.Speedup < base.Speedup*(1-threshold) {
+		errs = append(errs, fmt.Sprintf("event speedup %.2fx, baseline %.2fx (-%.0f%% > %.0f%% tolerance)",
+			cur.Speedup, base.Speedup, (1-cur.Speedup/base.Speedup)*100, threshold*100))
+	}
+	return errs
+}

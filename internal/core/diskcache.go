@@ -20,7 +20,10 @@ import (
 // digests aliased adaptive runs that differed only in cost constants), the
 // simulator derives its marking cost model from the installed feedback
 // parameters, and profiling passes carry their own adapt marker.
-const cacheSchemaVersion = "tomcache/v3"
+// v4: exact quiescence detection (cycle counts no longer overshoot drain by
+// up to 63 cycles) and window-boundary-exact channel-busy reads — v3 cycle
+// counts and gate decisions describe the old loop.
+const cacheSchemaVersion = "tomcache/v4"
 
 // BuildFingerprint identifies the producing build: the cache schema version
 // plus, when the binary carries VCS stamps, the revision and dirty flag.

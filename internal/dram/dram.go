@@ -35,6 +35,11 @@ type Request struct {
 	Write bool
 	// Done runs when the data burst completes.
 	Done func(now int64)
+
+	// bank and row are precomputed at Enqueue so the per-cycle FR-FCFS
+	// scans index directly instead of re-deriving them per element.
+	bank int
+	row  uint64
 }
 
 type bank struct {
@@ -80,12 +85,29 @@ func (v *Vault) Enqueue(r *Request) bool {
 	if v.Full() {
 		return false
 	}
+	r.row = r.Addr / uint64(v.t.RowBytes)
+	r.bank = v.BankOf(r.Addr)
 	v.queue = append(v.queue, r)
 	return true
 }
 
 // Active reports whether the vault has pending work.
 func (v *Vault) Active() bool { return len(v.queue) > 0 || len(v.compl) > 0 }
+
+// NextEvent returns the next cycle this vault needs to tick: 0 while
+// requests are queued (issue arbitration runs every cycle — bank and bus
+// readiness make waiting states conservative), the earliest completion
+// cycle while bursts are draining, and -1 when idle. The completion list
+// is kept sorted by Tick.
+func (v *Vault) NextEvent() int64 {
+	if len(v.queue) > 0 {
+		return 0
+	}
+	if len(v.compl) > 0 {
+		return v.compl[0].at
+	}
+	return -1
+}
 
 // Snapshot is a point-in-time view of a vault's counters and occupancy,
 // for the observability layer's periodic sampling.
@@ -122,10 +144,6 @@ func (v *Vault) BankOf(addr uint64) int {
 	return int((row ^ (row >> 4) ^ (row >> 8)) % uint64(len(v.banks)))
 }
 
-func (v *Vault) bankOf(addr uint64) int { return v.BankOf(addr) }
-
-func (v *Vault) rowOf(addr uint64) uint64 { return addr / uint64(v.t.RowBytes) }
-
 // Tick issues at most one request per cycle (FR-FCFS: oldest row-hit to a
 // free bank first, else oldest to a free bank) and fires completions.
 func (v *Vault) Tick(now int64) {
@@ -142,15 +160,15 @@ func (v *Vault) Tick(now int64) {
 	}
 	pick := -1
 	for i, r := range v.queue { // first-ready row hit
-		b := &v.banks[v.bankOf(r.Addr)]
-		if b.busyUntil <= now && b.hasRow && b.openRow == v.rowOf(r.Addr) {
+		b := &v.banks[r.bank]
+		if b.busyUntil <= now && b.hasRow && b.openRow == r.row {
 			pick = i
 			break
 		}
 	}
 	if pick < 0 {
 		for i, r := range v.queue { // oldest to a free bank
-			if v.banks[v.bankOf(r.Addr)].busyUntil <= now {
+			if v.banks[r.bank].busyUntil <= now {
 				pick = i
 				break
 			}
@@ -161,8 +179,8 @@ func (v *Vault) Tick(now int64) {
 	}
 	r := v.queue[pick]
 	v.queue = append(v.queue[:pick], v.queue[pick+1:]...)
-	b := &v.banks[v.bankOf(r.Addr)]
-	row := v.rowOf(r.Addr)
+	b := &v.banks[r.bank]
+	row := r.row
 	var lat int64
 	if b.hasRow && b.openRow == row {
 		lat = v.t.TCL

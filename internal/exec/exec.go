@@ -200,8 +200,10 @@ func (w *Warp) PeekOp() isa.Op {
 }
 
 // NextInstr returns the instruction about to execute. Valid only if !Done.
-func (w *Warp) NextInstr() isa.Instr {
-	return w.Kernel.Instrs[w.PC()]
+// It returns a pointer into the kernel's instruction slice (callers must
+// not mutate it) so the per-issue hot path copies nothing.
+func (w *Warp) NextInstr() *isa.Instr {
+	return &w.Kernel.Instrs[w.PC()]
 }
 
 // SkipTo repositions the current execution point — used by the main GPU SM
@@ -312,7 +314,7 @@ func (w *Warp) Step() StepResult {
 	if pc >= len(w.Kernel.Instrs) {
 		panic(fmt.Sprintf("exec: kernel %q: pc %d fell off the end", w.Kernel.Name, pc))
 	}
-	in := w.Kernel.Instrs[pc]
+	in := &w.Kernel.Instrs[pc]
 	mask := top.mask & w.alive
 	active := bits.OnesCount32(mask)
 	res := StepResult{PC: pc, Op: in.Op, Dst: in.Dst, HasDst: in.HasDst, ActiveLanes: active}

@@ -37,7 +37,7 @@ type Link struct {
 // New creates a link.
 func New(name string, bytesPerCycle float64, propLatency int64) *Link {
 	return &Link{Name: name, BytesPerCycle: bytesPerCycle, PropLatency: propLatency,
-		busWindow: newBusyMonitor(1024)}
+		busWindow: newBusyMonitor()}
 }
 
 // Send enqueues a packet for transmission.
@@ -55,10 +55,14 @@ func (l *Link) QueuedPackets() int { return len(l.queue) }
 func (l *Link) Active() bool { return len(l.queue) > 0 || len(l.inflight) > 0 }
 
 // Tick advances one cycle: serializes up to BytesPerCycle bytes and
-// delivers packets whose propagation completed.
+// delivers packets whose propagation completed. Idle cycles are free to
+// skip: the busy monitor advances lazily on reads, so a link that is not
+// ticked while idle reports the same utilization as one ticked every cycle.
 func (l *Link) Tick(now int64) {
-	busy := len(l.queue) > 0
-	if busy {
+	if len(l.queue) == 0 && len(l.inflight) == 0 {
+		return
+	}
+	if len(l.queue) > 0 {
 		l.BusyCycles++
 		budget := l.BytesPerCycle
 		for budget > 0 && len(l.queue) > 0 {
@@ -77,8 +81,10 @@ func (l *Link) Tick(now int64) {
 				l.headRem = float64(l.queue[0].Bytes)
 			}
 		}
+		// Idle (propagate-only) ticks record nothing: the monitor advances
+		// lazily on reads, so skipping the busy=false record is free.
+		l.busWindow.record(now)
 	}
-	l.busWindow.record(now, busy)
 	for len(l.inflight) > 0 && l.inflight[0].at <= now {
 		f := l.inflight[0]
 		l.inflight = l.inflight[1:]
@@ -88,9 +94,25 @@ func (l *Link) Tick(now int64) {
 	}
 }
 
-// Utilization returns the fraction of recent cycles (a 1024-cycle sliding
-// window) the link spent serializing.
-func (l *Link) Utilization() float64 { return l.busWindow.utilization() }
+// NextEvent returns the next cycle this link needs to tick: 0 while a
+// packet is serializing (every cycle counts), the head in-flight packet's
+// delivery cycle while only propagating, and -1 when fully idle. In-flight
+// entries are sorted by delivery cycle because PropLatency is constant and
+// Tick times are monotone.
+func (l *Link) NextEvent() int64 {
+	if len(l.queue) > 0 {
+		return 0
+	}
+	if len(l.inflight) > 0 {
+		return l.inflight[0].at
+	}
+	return -1
+}
+
+// Utilization returns the fraction of the last 1024 cycles (ending at
+// `now`) the link spent serializing. Taking the read time explicitly lets
+// the monitor expire stale sub-windows even when idle cycles were skipped.
+func (l *Link) Utilization(now int64) float64 { return l.busWindow.utilization(now) }
 
 // Snapshot is a point-in-time view of a link's counters, for the
 // observability layer's periodic sampling.
@@ -102,60 +124,75 @@ type Snapshot struct {
 	Utilization float64 // sliding-window busy fraction
 }
 
-// Snapshot captures the link's current counters and occupancy.
-func (l *Link) Snapshot() Snapshot {
+// Snapshot captures the link's current counters and occupancy as of `now`.
+func (l *Link) Snapshot(now int64) Snapshot {
 	return Snapshot{
 		BytesSent:   l.BytesSent,
 		PacketsSent: l.PacketsSent,
 		BusyCycles:  l.BusyCycles,
 		Queued:      len(l.queue),
-		Utilization: l.Utilization(),
+		Utilization: l.Utilization(now),
 	}
 }
 
 // Busy reports whether recent utilization exceeds threshold — the Channel
 // Busy Monitor's output (§3.3, §4.2 dynamic decision step 2).
-func (l *Link) Busy(threshold float64) bool { return l.Utilization() > threshold }
+func (l *Link) Busy(threshold float64, now int64) bool {
+	return l.Utilization(now) > threshold
+}
 
 // busyMonitor tracks utilization over a power-of-two sliding window using
-// coarse buckets.
+// coarse buckets. Time advances lazily: both writes (record) and reads
+// (utilization) expire the sub-windows between the last touch and `now`,
+// so a link that skips idle cycles reads identically to one ticked every
+// cycle — the skipped cycles would all have recorded busy=false.
+const (
+	busyWindow   = 1024 // sliding-window length in cycles
+	busySubShift = 7    // log2(window / #buckets): 1024/8 = 128-cycle buckets
+)
+
 type busyMonitor struct {
-	window  int64
 	buckets [8]int64 // busy-cycle counts per sub-window
-	current int64    // index of active bucket (derived from time)
 	lastSub int64
 }
 
-func newBusyMonitor(window int64) busyMonitor {
-	return busyMonitor{window: window, lastSub: -1}
+func newBusyMonitor() busyMonitor {
+	return busyMonitor{lastSub: -1}
 }
 
-func (m *busyMonitor) record(now int64, busy bool) {
-	sub := now / (m.window / int64(len(m.buckets)))
-	if sub != m.lastSub {
-		// Advance; clear skipped buckets (bounded: a gap of a full
-		// window clears everything).
-		n := int64(len(m.buckets))
-		if sub-m.lastSub >= n {
-			for i := range m.buckets {
-				m.buckets[i] = 0
-			}
-		} else {
-			for s := m.lastSub + 1; s <= sub; s++ {
-				m.buckets[s%n] = 0
-			}
+// advance expires sub-windows between lastSub and the one containing now
+// (bounded: a gap of a full window clears everything). Power-of-two window
+// and bucket sizes keep this shift-and-mask only — it runs once per busy
+// link tick.
+func (m *busyMonitor) advance(now int64) {
+	sub := now >> busySubShift
+	if sub == m.lastSub {
+		return
+	}
+	n := int64(len(m.buckets))
+	if sub-m.lastSub >= n {
+		for i := range m.buckets {
+			m.buckets[i] = 0
 		}
-		m.lastSub = sub
+	} else {
+		for s := m.lastSub + 1; s <= sub; s++ {
+			m.buckets[s&(n-1)] = 0
+		}
 	}
-	if busy {
-		m.buckets[sub%int64(len(m.buckets))]++
-	}
+	m.lastSub = sub
 }
 
-func (m *busyMonitor) utilization() float64 {
+// record marks `now` as a busy cycle.
+func (m *busyMonitor) record(now int64) {
+	m.advance(now)
+	m.buckets[m.lastSub&int64(len(m.buckets)-1)]++
+}
+
+func (m *busyMonitor) utilization(now int64) float64 {
+	m.advance(now)
 	var busy int64
 	for _, b := range m.buckets {
 		busy += b
 	}
-	return float64(busy) / float64(m.window)
+	return float64(busy) / float64(busyWindow)
 }

@@ -56,7 +56,7 @@ func TestRandomTrafficConservation(t *testing.T) {
 			t.Fatalf("trial %d: drained %d bytes in %d cycles, below the %.0f-cycle bandwidth bound",
 				trial, sentBytes, now, minCycles)
 		}
-		if u := l.Utilization(); u < 0 || u > 1.001 {
+		if u := l.Utilization(now); u < 0 || u > 1.001 {
 			t.Fatalf("trial %d: utilization %v out of range", trial, u)
 		}
 	}

@@ -70,18 +70,42 @@ func TestUtilizationSaturates(t *testing.T) {
 		}
 		l.Tick(now)
 	}
-	if u := l.Utilization(); u < 0.9 {
+	if u := l.Utilization(2047); u < 0.9 {
 		t.Errorf("saturated utilization = %v, want ~1", u)
 	}
-	if !l.Busy(0.5) {
+	if !l.Busy(0.5, 2047) {
 		t.Error("link should report busy")
 	}
 	// Drain and go idle: utilization must decay.
 	for now := int64(2048); now < 2048+4096; now++ {
 		l.Tick(now)
 	}
-	if u := l.Utilization(); u > 0.1 {
+	if u := l.Utilization(2048 + 4095); u > 0.1 {
 		t.Errorf("idle utilization = %v, want ~0", u)
+	}
+}
+
+// TestUtilizationDecaysWithoutTicks pins the lazy-advance contract the
+// event-driven simulator loop relies on: an idle link that is never ticked
+// must read the same utilization as one ticked with busy=false every cycle.
+func TestUtilizationDecaysWithoutTicks(t *testing.T) {
+	l := New("tx", 8, 0)
+	for now := int64(0); now < 2048; now++ {
+		if l.QueuedPackets() < 4 {
+			l.Send(Packet{Bytes: 128})
+		}
+		l.Tick(now)
+	}
+	for now := int64(2048); l.Active(); now++ {
+		l.Tick(now) // drain the tail without refilling
+	}
+	// No ticks at all during the idle window: a read far in the future must
+	// see a fully decayed window.
+	if u := l.Utilization(2048 + 4096); u != 0 {
+		t.Errorf("idle utilization without ticks = %v, want 0", u)
+	}
+	if l.Busy(0.0001, 2048+4096+1) {
+		t.Error("idle link must not report busy after the window expired")
 	}
 }
 

@@ -11,6 +11,29 @@ import (
 type l2sys struct {
 	sys   *System
 	banks []*l2bank
+	// free recycles MSHR entries (and their waiter slices' capacity): an
+	// L2 miss in steady state allocates nothing.
+	free []*l2entry
+}
+
+// getEntry returns an empty MSHR entry, reusing a recycled one if possible.
+func (l2 *l2sys) getEntry() *l2entry {
+	if n := len(l2.free); n > 0 {
+		e := l2.free[n-1]
+		l2.free = l2.free[:n-1]
+		return e
+	}
+	return &l2entry{}
+}
+
+// putEntry recycles a drained MSHR entry, dropping txn references so the
+// pool does not retain completed transactions.
+func (l2 *l2sys) putEntry(e *l2entry) {
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	e.waiters = e.waiters[:0]
+	l2.free = append(l2.free, e)
 }
 
 type l2bank struct {
@@ -96,7 +119,7 @@ func (b *l2bank) tick(now int64) {
 		b.tags.Lookup(t.line)
 		n := copy(b.queue, b.queue[1:])
 		b.queue = b.queue[:n]
-		sys.wheel.after(sys.cfg.L2Lat/3, func(at int64) { sys.routeStore(t, at) })
+		sys.wheel.afterEvent(sys.cfg.L2Lat/3, wheelEvent{kind: wevRouteStore, t: t})
 		return
 	}
 	// Load.
@@ -111,7 +134,7 @@ func (b *l2bank) tick(now int64) {
 		sys.stats.L2Hits++
 		n := copy(b.queue, b.queue[1:])
 		b.queue = b.queue[:n]
-		sys.wheel.after(sys.cfg.L2Lat, t.onData)
+		sys.wheel.afterEvent(sys.cfg.L2Lat, wheelEvent{kind: wevTxnDone, t: t})
 		return
 	}
 	if len(sys.l2mshr) >= sys.cfg.L2MSHRs {
@@ -120,9 +143,10 @@ func (b *l2bank) tick(now int64) {
 	sys.stats.L2Misses++
 	n := copy(b.queue, b.queue[1:])
 	b.queue = b.queue[:n]
-	sys.l2mshr[t.line] = &l2entry{waiters: []*txn{t}}
-	line := t.line
-	sys.wheel.after(sys.cfg.L2Lat/3, func(at int64) { sys.routeLoad(line, at) })
+	e := sys.l2.getEntry()
+	e.waiters = append(e.waiters, t)
+	sys.l2mshr[t.line] = e
+	sys.wheel.afterEvent(sys.cfg.L2Lat/3, wheelEvent{kind: wevRouteLoad, line: t.line})
 }
 
 // l2fill completes an outstanding L2 miss: install the tag and wake every
@@ -135,8 +159,9 @@ func (sys *System) l2fill(line uint64, now int64) {
 	delete(sys.l2mshr, line)
 	sys.l2.bankOf(line).tags.Fill(line)
 	for _, t := range e.waiters {
-		t.onData(now)
+		t.complete(now)
 	}
+	sys.l2.putEntry(e)
 }
 
 // routeLoad sends an L2 miss toward memory: the owning stack's vault, or
@@ -170,7 +195,7 @@ func (sys *System) routeStore(t *txn, now int64) {
 	}
 	sys.txLinks[s].Send(packetOf(bytes, func(at int64) {
 		sys.stacks[s].serveLine(t.line, t.bytes, true, at, func(done int64) {
-			sys.rxLinks[s].Send(packetOf(ack, t.onData))
+			sys.rxLinks[s].Send(packetOf(ack, t.complete))
 		})
 	}))
 }
@@ -187,6 +212,6 @@ func (sys *System) pcieLoad(line uint64, now int64) {
 
 func (sys *System) pcieStore(t *txn, now int64) {
 	sys.pcieTX.Send(packetOf(reqHeaderBytes+t.bytes, func(at int64) {
-		sys.pcieRX.Send(packetOf(storeAckBytes, t.onData))
+		sys.pcieRX.Send(packetOf(storeAckBytes, t.complete))
 	}))
 }

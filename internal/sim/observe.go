@@ -115,8 +115,8 @@ func (ob *obsState) sample(sys *System, now int64) {
 	ob.addTraffic(sys, at)
 	for s := 0; s < sys.cfg.Stacks; s++ {
 		ob.pending[s].Add(at, float64(sys.pendingOffloads[s]))
-		ob.txUtil[s].Add(at, sys.txLinks[s].Utilization())
-		ob.rxUtil[s].Add(at, sys.rxLinks[s].Utilization())
+		ob.txUtil[s].Add(at, sys.txLinks[s].Utilization(now))
+		ob.rxUtil[s].Add(at, sys.rxLinks[s].Utilization(now))
 		ob.dramQ[s].Add(at, float64(sys.stacks[s].occupancy()))
 	}
 	ob.l2mshrQ.Add(at, float64(len(sys.l2mshr)))

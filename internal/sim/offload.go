@@ -114,11 +114,11 @@ func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candi
 		}
 		// Step 2: channel-busy gating via the 2-bit tag (§3.3).
 		th := sys.cfg.BusyThreshold
-		if !cand.SavesTX && sys.txLinks[dest].Busy(th) {
+		if !cand.SavesTX && sys.txLinks[dest].Busy(th, now) {
 			sys.gate(now, sm, cand, dest, "busy")
 			return false
 		}
-		if !cand.SavesRX && sys.rxLinks[dest].Busy(th) {
+		if !cand.SavesRX && sys.rxLinks[dest].Busy(th, now) {
 			sys.gate(now, sm, cand, dest, "busy")
 			return false
 		}
@@ -170,12 +170,7 @@ func (sys *System) launchOffload(sm *SM, sw *smWarp, cand *compiler.Candidate, d
 		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvSend, SM: sm.id, Stack: dest,
 			PC: cand.StartPC, Bytes: reqBytes})
 	}
-	sys.wheel.after(sys.cfg.OffloadPipeLat, func(at int64) {
-		sys.txLinks[dest].Send(packetOf(reqBytes, func(rx int64) {
-			sm := sys.stacks[dest].spawnTarget()
-			sm.spawnQ = append(sm.spawnQ, job)
-		}))
-	})
+	sys.wheel.afterEvent(sys.cfg.OffloadPipeLat, wheelEvent{kind: wevSendOffload, job: job})
 }
 
 // offloadIdeal is the Fig. 2 idealization: zero-cost transfer and perfect
@@ -298,7 +293,7 @@ func (sys *System) sendOffloadAck(sw *smWarp, now int64) {
 			PC: cand.StartPC, Bytes: ackBytes})
 	}
 	if sys.cfg.Offload == OffloadIdeal {
-		sys.wheel.after(1, func(at int64) { sys.finishOffload(job, at) })
+		sys.wheel.afterEvent(1, wheelEvent{kind: wevFinishOffload, job: job})
 		return
 	}
 	sys.rxLinks[job.dest].Send(packetOf(ackBytes, func(at int64) {

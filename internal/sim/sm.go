@@ -42,8 +42,11 @@ type SM struct {
 
 	// evRing is a per-SM timer ring for short fixed delays (ALU pipeline
 	// occupancy, L1-hit load returns). It avoids per-instruction closure
-	// allocation on the global wheel; slot slices are reused.
-	evRing [ringSlots][]smEvent
+	// allocation on the global wheel; slot slices are reused. ringCount
+	// tracks unfired entries so the event-driven loop can find the next
+	// due slot without scanning an empty ring.
+	evRing    [ringSlots][]smEvent
+	ringCount int
 }
 
 // ringSlots must exceed every latency scheduled on the ring.
@@ -161,7 +164,7 @@ func (sm *SM) reconsider(sw *smWarp, now int64) {
 		if d < ringSlots {
 			sm.ringAfter(d, now, smEvent{sw: sw, reg: -1})
 		} else {
-			sm.sys.wheel.after(d, func(at int64) { sm.reconsider(sw, at) })
+			sm.sys.wheel.afterEvent(d, wheelEvent{kind: wevReconsider, sm: sm, sw: sw})
 		}
 		return
 	}
@@ -192,6 +195,7 @@ func (sm *SM) ringAfter(lat, now int64, ev smEvent) {
 	}
 	i := (now + lat) % ringSlots
 	sm.evRing[i] = append(sm.evRing[i], ev)
+	sm.ringCount++
 }
 
 // ringTick fires due ring events.
@@ -202,6 +206,7 @@ func (sm *SM) ringTick(now int64) {
 		return
 	}
 	sm.evRing[i] = due[:0]
+	sm.ringCount -= len(due)
 	for _, ev := range due {
 		if ev.reg >= 0 {
 			sm.regClear(ev.sw, isa.Reg(ev.reg), now)
@@ -459,11 +464,7 @@ func (sm *SM) issue(sw *smWarp, now int64) {
 			sm.unready(sw, wsWaitLSU)
 			// MSHR-full wakeups ride on fills; LSU wakeups on drain.
 			if len(sm.mshr) >= sm.cfg.MSHRsPerSM {
-				sm.sys.wheel.after(8, func(at int64) {
-					if sw.state == wsWaitLSU {
-						sm.setReady(sw)
-					}
-				})
+				sm.sys.wheel.afterEvent(8, wheelEvent{kind: wevLSURetry, sm: sm, sw: sw})
 			}
 			return
 		}
@@ -550,21 +551,12 @@ func (sm *SM) issueMem(sw *smWarp, res exec.StepResult, now int64) {
 			// Write-through, no-allocate: touch L1 LRU if present.
 			sm.l1.Lookup(li.line)
 			t := &txn{line: li.line, bytes: li.lanes * isa.WordBytes, store: true,
-				atom: res.Op == isa.OpAtomAdd}
-			t.onData = func(at int64) {
-				sm.sys.inflight--
-				sm.storeAck(sw, at)
+				atom: res.Op == isa.OpAtomAdd, sm: sm, sw: sw, reg: reg}
+			if res.Op == isa.OpAtomAdd {
+				sw.regCount[reg]++
 			}
 			sm.sys.inflight++
 			sm.lsu = append(sm.lsu, t)
-			if res.Op == isa.OpAtomAdd {
-				sw.regCount[reg]++
-				org := t.onData
-				t.onData = func(at int64) {
-					org(at)
-					sm.regClear(sw, reg, at)
-				}
-			}
 			continue
 		}
 		// Load path.
@@ -580,14 +572,8 @@ func (sm *SM) issueMem(sw *smWarp, res exec.StepResult, now int64) {
 		}
 		sm.noteL1(false)
 		sm.mshr[li.line] = []loadWaiter{{sw: sw, reg: reg}}
-		line := li.line
-		t := &txn{line: line}
-		t.onData = func(at int64) {
-			sm.sys.inflight--
-			sm.fill(line, at)
-		}
 		sm.sys.inflight++
-		sm.lsu = append(sm.lsu, t)
+		sm.lsu = append(sm.lsu, &txn{line: li.line, sm: sm})
 	}
 }
 
@@ -615,6 +601,41 @@ func (sm *SM) fill(line uint64, now int64) {
 	}
 	// MSHR space freed: wake MSHR-stalled warps.
 	sm.retryLSUStalls(now)
+}
+
+// runnableNow reports whether the SM's tick would do work this cycle:
+// ready warps to issue, LSU transactions to drain, or offload jobs to
+// spawn. Ring events are timed, not busy-now — see nextRingDue.
+func (sm *SM) runnableNow() bool {
+	return sm.ready.any() || len(sm.lsu) > 0 || len(sm.spawnQ) > 0
+}
+
+// idleAt reports that tick(now) would be a provable no-op: nothing is
+// runnable and the cycle's ring slot holds no events. The event-driven
+// loop elides the tick call entirely for such SMs; the per-cycle
+// reference loop always ticks.
+func (sm *SM) idleAt(now int64) bool {
+	if sm.ringCount != 0 && len(sm.evRing[now%ringSlots]) > 0 {
+		return false
+	}
+	return !sm.runnableNow()
+}
+
+// nextRingDue returns the earliest cycle >= from whose ring slot holds
+// events, or -1 with an empty ring. A slot fires at the first SM tick
+// matching it mod ringSlots, so events whose nominal due cycle fell inside
+// a frozen window fire at the first matching post-freeze cycle — passing
+// from = frozenUntil reproduces the per-cycle loop's behavior exactly.
+func (sm *SM) nextRingDue(from int64) int64 {
+	if sm.ringCount == 0 {
+		return -1
+	}
+	for d := int64(0); d < ringSlots; d++ {
+		if len(sm.evRing[(from+d)%ringSlots]) > 0 {
+			return from + d
+		}
+	}
+	return -1
 }
 
 // busy reports whether the SM still has unfinished work.

@@ -54,22 +54,19 @@ func (s *stackNode) serveLine(line uint64, storeBytes int, write bool, now int64
 		bytes = storeBytes
 	}
 	req := &dram.Request{Addr: line, Bytes: bytes, Write: write, Done: done}
-	var try func(int64)
-	try = func(at int64) {
-		if !v.Enqueue(req) {
-			s.sys.wheel.after(4, try)
-		}
-	}
-	s.sys.wheel.after(s.sys.cfg.XbarLat, try)
+	s.sys.wheel.afterEvent(s.sys.cfg.XbarLat, wheelEvent{kind: wevVaultTry, vault: v, req: req})
 }
 
-func (s *stackNode) tick(now int64) {
+func (s *stackNode) tick(now int64, elide bool) {
 	for _, v := range s.vaults {
 		if v.Active() {
 			v.Tick(now)
 		}
 	}
 	for _, sm := range s.sms {
+		if elide && sm.idleAt(now) {
+			continue
+		}
 		sm.tick(now)
 	}
 }
@@ -100,7 +97,7 @@ func (p *stackPort) accept(now int64, t *txn) bool {
 	if home == p.node.id {
 		// Local: crossbar + vault only.
 		p.node.serveLine(t.line, t.bytes, t.store, now, func(done int64) {
-			sys.wheel.after(2, t.onData)
+			sys.wheel.afterEvent(2, wheelEvent{kind: wevTxnDone, t: t})
 		})
 		return true
 	}
@@ -114,7 +111,7 @@ func (p *stackPort) accept(now int64, t *txn) bool {
 	from, to := p.node.id, home
 	sys.crossLinks[from][to].Send(packetOf(reqBytes, func(at int64) {
 		sys.stacks[to].serveLine(t.line, t.bytes, t.store, at, func(done int64) {
-			sys.crossLinks[to][from].Send(packetOf(respBytes, t.onData))
+			sys.crossLinks[to][from].Send(packetOf(respBytes, t.complete))
 		})
 	}))
 	return true

@@ -54,6 +54,11 @@ type System struct {
 	frozenUntil   int64
 	learnDeadline int64
 
+	// perCycle forces the naive tick-every-cycle loop (diagnostics and the
+	// event-driven/per-cycle equivalence tests). A per-cycle trace hook
+	// implies it: the hook's contract is one call per simulated cycle.
+	perCycle bool
+
 	mdCache map[*isa.Kernel]*compiler.Metadata
 	trace   func(now int64)
 
@@ -70,11 +75,11 @@ type System struct {
 func New(cfg Config, m *mem.Flat, alloc *mem.AllocTable) *System {
 	sys := &System{
 		cfg: cfg, mem: m, alloc: alloc,
-		wheel:      newWheel(),
 		l2mshr:     make(map[uint64]*l2entry),
 		offloadBit: -1,
 		mdCache:    make(map[*isa.Kernel]*compiler.Metadata),
 	}
+	sys.wheel = newWheel(sys)
 	sys.stats.PCStats = compiler.GateProfile{}
 	sys.l2 = newL2(sys)
 	for i := 0; i < cfg.MainSMs; i++ {
@@ -344,6 +349,11 @@ func (sys *System) RunWithTrace(launches []exec.Launch, trace func(now int64)) e
 	return sys.stats.DrainError()
 }
 
+// SetPerCycleLoop selects the naive tick-every-cycle loop instead of the
+// event-driven one. Both produce identical Stats (tested); the per-cycle
+// loop exists for diagnostics and as the equivalence baseline.
+func (sys *System) SetPerCycleLoop(v bool) { sys.perCycle = v }
+
 func (sys *System) runLaunch(l exec.Launch) error {
 	if err := l.Validate(); err != nil {
 		return err
@@ -353,68 +363,271 @@ func (sys *System) runLaunch(l exec.Launch) error {
 		return err
 	}
 	lc := &launchCtx{l: l, md: md, totalCTAs: l.Grid}
+	perCycle := sys.perCycle || sys.trace != nil
 
-	quietCheck := int64(0)
 	for {
-		now := sys.now
-		if sys.trace != nil {
-			sys.trace(now)
-		}
-		if ob := sys.ob; ob != nil && now >= ob.next {
-			ob.sample(sys, now)
-		}
-		// Learning watchdog: close the phase at the deadline with
-		// whatever has been observed; with nothing observed, give up on
-		// the learned mapping entirely (tmap degrades to bmap).
-		if sys.learning && sys.cfg.LearnDeadline > 0 && now >= sys.learnDeadline {
-			sys.endLearning()
-		}
-		sys.wheel.tick(now)
-		frozen := now < sys.frozenUntil
-		if !frozen {
-			if lc.nextCTA < lc.totalCTAs && (!sys.learning || sys.activeCTAs() < learnCTACap) {
-				for _, sm := range sys.sms {
-					if lc.nextCTA >= lc.totalCTAs {
-						break
-					}
-					sm.dispatchCTAs(lc)
-					if sys.learning && sys.activeCTAs() >= learnCTACap {
-						break
-					}
-				}
-			}
-			for _, sm := range sys.sms {
-				sm.tick(now)
-			}
-			for _, st := range sys.stacks {
-				st.tick(now)
-			}
-		}
-		sys.l2.tick(now)
-		for s := 0; s < sys.cfg.Stacks; s++ {
-			sys.txLinks[s].Tick(now)
-			sys.rxLinks[s].Tick(now)
-			for t := 0; t < sys.cfg.Stacks; t++ {
-				if s != t {
-					sys.crossLinks[s][t].Tick(now)
-				}
-			}
-		}
-		sys.pcieTX.Tick(now)
-		sys.pcieRX.Tick(now)
-		sys.now++
+		sys.stepCycle(lc, !perCycle)
 
+		// Exact quiescence: state only changes on executed cycles, so
+		// checking after every one of them ends the launch on the first
+		// cycle past the last component activity (the old amortized check
+		// overshot by up to 63 cycles). The check short-circuits on
+		// doneCTAs during the bulk of the run.
+		if lc.doneCTAs == lc.totalCTAs && sys.quiet() {
+			return nil
+		}
+		// A run that quiesces exactly at the MaxCycles boundary succeeds;
+		// the error fires at sys.now == MaxCycles+1, i.e. after cycle
+		// MaxCycles executed without reaching quiescence.
 		if sys.cfg.MaxCycles > 0 && sys.now > sys.cfg.MaxCycles {
 			return fmt.Errorf("exceeded MaxCycles=%d", sys.cfg.MaxCycles)
 		}
-		// Quiescence check (amortized).
-		if lc.doneCTAs == lc.totalCTAs && sys.now > quietCheck {
-			quietCheck = sys.now + 64
-			if sys.quiet() {
-				return nil
+		if !perCycle {
+			if next := sys.nextEventCycle(lc); next > sys.now {
+				sys.now = next
 			}
 		}
 	}
+}
+
+// stepCycle executes one simulated cycle at sys.now and advances sys.now.
+// It is the shared body of both loop modes; the event-driven loop simply
+// skips cycles this body would no-op through. With elide set (event mode),
+// component ticks that are provable no-ops — an SM with an empty ring slot
+// and nothing runnable — are skipped within the executed cycle too; the
+// per-cycle reference loop ticks everything, and the Fig. 9 equivalence
+// test pins that both produce identical Stats.
+func (sys *System) stepCycle(lc *launchCtx, elide bool) {
+	now := sys.now
+	if sys.trace != nil {
+		sys.trace(now)
+	}
+	if ob := sys.ob; ob != nil && now >= ob.next {
+		ob.sample(sys, now)
+	}
+	// Learning watchdog: close the phase at the deadline with whatever has
+	// been observed; with nothing observed, give up on the learned mapping
+	// entirely (tmap degrades to bmap).
+	if sys.learning && sys.cfg.LearnDeadline > 0 && now >= sys.learnDeadline {
+		sys.endLearning()
+	}
+	sys.wheel.tick(now)
+	if now >= sys.frozenUntil {
+		if lc.nextCTA < lc.totalCTAs && (!sys.learning || sys.activeCTAs() < learnCTACap) {
+			for _, sm := range sys.sms {
+				if lc.nextCTA >= lc.totalCTAs {
+					break
+				}
+				sm.dispatchCTAs(lc)
+				if sys.learning && sys.activeCTAs() >= learnCTACap {
+					break
+				}
+			}
+		}
+		for _, sm := range sys.sms {
+			if elide && sm.idleAt(now) {
+				continue
+			}
+			sm.tick(now)
+		}
+		for _, st := range sys.stacks {
+			st.tick(now, elide)
+		}
+	}
+	sys.l2.tick(now)
+	for s := 0; s < sys.cfg.Stacks; s++ {
+		sys.txLinks[s].Tick(now)
+		sys.rxLinks[s].Tick(now)
+		for t := 0; t < sys.cfg.Stacks; t++ {
+			if s != t {
+				sys.crossLinks[s][t].Tick(now)
+			}
+		}
+	}
+	sys.pcieTX.Tick(now)
+	sys.pcieRX.Tick(now)
+	sys.now++
+}
+
+// dispatchPending reports whether stepCycle's CTA dispatch would place a
+// CTA right now. Mirrors the gates in stepCycle exactly: waiting CTAs, the
+// learning-phase residency cap, and at least one SM with a free slot.
+func (sys *System) dispatchPending(lc *launchCtx) bool {
+	if lc.nextCTA >= lc.totalCTAs {
+		return false
+	}
+	if sys.learning && sys.activeCTAs() >= learnCTACap {
+		return false
+	}
+	wpc := lc.l.WarpsPerCTA()
+	for _, sm := range sys.sms {
+		if len(sm.ctas) < sys.cfg.MaxCTAsPerSM && sm.freeSlots >= wpc {
+			return true
+		}
+	}
+	return false
+}
+
+// nextEventCycle computes the earliest cycle >= sys.now at which any
+// component can make progress. Skipped cycles are provable no-ops for every
+// component, so the event-driven loop produces bit-identical Stats to the
+// per-cycle loop (tested over the Fig. 9 matrix). Sources are conservative:
+// an over-inclusive answer only costs a no-op cycle, never correctness.
+func (sys *System) nextEventCycle(lc *launchCtx) int64 {
+	now := sys.now
+	frozen := now < sys.frozenUntil
+
+	// Fast path for the common case: outside a freeze, any runnable main
+	// SM means the next cycle executes — bail before scanning the rest of
+	// the machine. (The full gatedBusy scan below repeats this check for
+	// the frozen case.)
+	if !frozen {
+		for _, sm := range sys.sms {
+			if sm.runnableNow() {
+				return now
+			}
+		}
+	}
+
+	// Busy-now components that tick every cycle regardless of the freeze:
+	// an L2 bank with queued transactions, or a link still serializing.
+	for _, b := range sys.l2.banks {
+		if len(b.queue) > 0 {
+			return now
+		}
+	}
+	for s := 0; s < sys.cfg.Stacks; s++ {
+		if sys.txLinks[s].QueuedPackets() > 0 || sys.rxLinks[s].QueuedPackets() > 0 {
+			return now
+		}
+		for t := 0; t < sys.cfg.Stacks; t++ {
+			if s != t && sys.crossLinks[s][t].QueuedPackets() > 0 {
+				return now
+			}
+		}
+	}
+	if sys.pcieTX.QueuedPackets() > 0 || sys.pcieRX.QueuedPackets() > 0 {
+		return now
+	}
+
+	// Busy-now components gated by the learning freeze (SMs, stacks, CTA
+	// dispatch): while frozen their next chance to run is frozenUntil.
+	gatedBusy := false
+	for _, sm := range sys.sms {
+		if sm.runnableNow() {
+			gatedBusy = true
+			break
+		}
+	}
+	if !gatedBusy {
+	stacks:
+		for _, st := range sys.stacks {
+			for _, sm := range st.sms {
+				if sm.runnableNow() {
+					gatedBusy = true
+					break stacks
+				}
+			}
+			for _, v := range st.vaults {
+				if v.QueueLen() > 0 {
+					gatedBusy = true
+					break stacks
+				}
+			}
+		}
+	}
+	if !gatedBusy && sys.dispatchPending(lc) {
+		gatedBusy = true
+	}
+	if gatedBusy && !frozen {
+		return now
+	}
+
+	next := int64(-1)
+	upd := func(t int64) {
+		if t < now {
+			t = now
+		}
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	if gatedBusy {
+		upd(sys.frozenUntil)
+	}
+
+	// Timed sources that fire regardless of the freeze.
+	if t := sys.wheel.nextDue(); t >= 0 {
+		upd(t)
+	}
+	for s := 0; s < sys.cfg.Stacks; s++ {
+		if t := sys.txLinks[s].NextEvent(); t >= 0 {
+			upd(t)
+		}
+		if t := sys.rxLinks[s].NextEvent(); t >= 0 {
+			upd(t)
+		}
+		for u := 0; u < sys.cfg.Stacks; u++ {
+			if s != u {
+				if t := sys.crossLinks[s][u].NextEvent(); t >= 0 {
+					upd(t)
+				}
+			}
+		}
+	}
+	if t := sys.pcieTX.NextEvent(); t >= 0 {
+		upd(t)
+	}
+	if t := sys.pcieRX.NextEvent(); t >= 0 {
+		upd(t)
+	}
+
+	// Timed sources gated by the freeze: per-SM ring events and vault
+	// completions only fire once the owning component ticks again, i.e.
+	// (for ring events) at the first post-freeze cycle matching their slot.
+	gateBase := now
+	if frozen {
+		gateBase = sys.frozenUntil
+	}
+	for _, sm := range sys.sms {
+		if t := sm.nextRingDue(gateBase); t >= 0 {
+			upd(t)
+		}
+	}
+	for _, st := range sys.stacks {
+		for _, sm := range st.sms {
+			if t := sm.nextRingDue(gateBase); t >= 0 {
+				upd(t)
+			}
+		}
+		for _, v := range st.vaults {
+			if t := v.NextEvent(); t >= 0 {
+				if frozen && t < sys.frozenUntil {
+					t = sys.frozenUntil
+				}
+				upd(t)
+			}
+		}
+	}
+
+	// Caps: observer sampling boundaries, the learning watchdog, and the
+	// MaxCycles limit must all be hit exactly, never jumped over.
+	if ob := sys.ob; ob != nil {
+		upd(ob.next)
+	}
+	if sys.learning && sys.cfg.LearnDeadline > 0 {
+		upd(sys.learnDeadline)
+	}
+	if next < 0 {
+		// No component holds future work yet the run is not quiescent
+		// (a deadlocked workload): fall back to per-cycle stepping so the
+		// MaxCycles guard fires exactly as in the per-cycle loop.
+		return now
+	}
+	if sys.cfg.MaxCycles > 0 && next > sys.cfg.MaxCycles {
+		next = sys.cfg.MaxCycles
+	}
+	return next
 }
 
 func (sys *System) quiet() bool {

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// runSimMode is runSim with an explicit loop-mode selector.
+func runSimMode(t testing.TB, cfg Config, env *workloadEnv, perCycle bool) *System {
+	t.Helper()
+	m := env.mem.Clone()
+	alloc := mem.NewAllocTable()
+	for _, r := range env.alloc.Ranges {
+		alloc.Alloc(r.Name, r.Size)
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 50_000_000
+	}
+	sys := New(cfg, m, alloc)
+	sys.SetPerCycleLoop(perCycle)
+	if err := sys.Run(env.launches); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestExactQuiescence: the run must end on the first cycle after the last
+// component activity — the old amortized check (every 64 cycles) overshot
+// the true drain cycle by up to 63 cycles, inflating every reported cycle
+// count. The per-cycle trace hook observes quiescence at the start of every
+// executed cycle: after cycle 0 (dispatch has not happened yet at the very
+// first cycle's start) no executed cycle may begin quiescent.
+func TestExactQuiescence(t *testing.T) {
+	env := streamEnv(t, 8, 8)
+	m := env.mem.Clone()
+	alloc := mem.NewAllocTable()
+	for _, r := range env.alloc.Ranges {
+		alloc.Alloc(r.Name, r.Size)
+	}
+	cfg := BaselineConfig()
+	cfg.MaxCycles = 50_000_000
+	sys := New(cfg, m, alloc)
+	var quietStarts []int64
+	var last int64
+	trace := func(now int64) {
+		last = now
+		if now > 0 && sys.quiet() {
+			quietStarts = append(quietStarts, now)
+		}
+	}
+	if err := sys.RunWithTrace(env.launches, trace); err != nil {
+		t.Fatal(err)
+	}
+	if len(quietStarts) > 0 {
+		t.Errorf("executed %d cycles that began quiescent (first: %d) — drain is not exact",
+			len(quietStarts), quietStarts[0])
+	}
+	if got := sys.Stats().Cycles; got != last+1 {
+		t.Errorf("Cycles = %d, want %d (last executed cycle %d + 1)", got, last+1, last)
+	}
+}
+
+// TestMaxCyclesBoundary pins the limit's exact semantics in both loop
+// modes: the run may execute cycles 0..MaxCycles; if it reaches quiescence
+// when sys.now passes the limit, quiescence wins (a drain finishing exactly
+// at the boundary is a success), otherwise the error fires with
+// sys.now == MaxCycles+1.
+func TestMaxCyclesBoundary(t *testing.T) {
+	env := streamEnv(t, 4, 4)
+	natural := runSim(t, BaselineConfig(), env).Stats().Cycles
+
+	for _, perCycle := range []bool{false, true} {
+		mode := map[bool]string{true: "percycle", false: "event"}[perCycle]
+
+		// The last executed cycle of a natural run is natural-1, so
+		// MaxCycles = natural-1 must still succeed...
+		cfg := BaselineConfig()
+		cfg.MaxCycles = natural - 1
+		sys := runSimMode(t, cfg, env, perCycle)
+		if got := sys.Stats().Cycles; got != natural {
+			t.Errorf("%s: boundary success run Cycles = %d, want %d", mode, got, natural)
+		}
+
+		// ...and MaxCycles = natural-2 must fail, with the error raised at
+		// exactly MaxCycles+1 in both modes (event jumps may not leap it).
+		m := env.mem.Clone()
+		alloc := mem.NewAllocTable()
+		for _, r := range env.alloc.Ranges {
+			alloc.Alloc(r.Name, r.Size)
+		}
+		cfg2 := BaselineConfig()
+		cfg2.MaxCycles = natural - 2
+		sys2 := New(cfg2, m, alloc)
+		sys2.SetPerCycleLoop(perCycle)
+		err := sys2.Run(env.launches)
+		if err == nil {
+			t.Fatalf("%s: MaxCycles=%d should fail (natural run needs %d cycles)",
+				mode, natural-2, natural)
+		}
+		if got := sys2.Stats().Cycles; got != natural-1 {
+			t.Errorf("%s: error raised at cycle %d, want MaxCycles+1 = %d", mode, got, natural-1)
+		}
+	}
+}
+
+// TestFrozenWindowSemantics pins which components advance during the
+// learning-phase freeze (endLearning's interrupt+drain pause): SMs and
+// memory stacks are stopped — no instructions execute, no DRAM requests
+// are served — while the L2, all links, and the wheel keep ticking, so
+// in-flight traffic continues to drain. The freeze is exactly 1000 cycles.
+func TestFrozenWindowSemantics(t *testing.T) {
+	env := streamEnv(t, 24, 24)
+	m := env.mem.Clone()
+	alloc := mem.NewAllocTable()
+	for _, r := range env.alloc.Ranges {
+		alloc.Alloc(r.Name, r.Size)
+	}
+	cfg := DefaultConfig() // tmap + controlled offload: has a learning phase
+	cfg.MaxCycles = 50_000_000
+	sys := New(cfg, m, alloc)
+
+	type snap struct {
+		warpInstrs uint64
+		dramOps    uint64
+		pcieBytes  uint64
+	}
+	samples := map[int64]snap{}
+	trace := func(now int64) {
+		var dram uint64
+		for _, st := range sys.stacks {
+			for _, v := range st.vaults {
+				dram += v.Reads + v.Writes
+			}
+		}
+		samples[now] = snap{
+			warpInstrs: sys.stats.WarpInstrs,
+			dramOps:    dram,
+			pcieBytes:  sys.pcieTX.BytesSent + sys.pcieRX.BytesSent,
+		}
+	}
+	if err := sys.RunWithTrace(env.launches, trace); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.LearnCycles == 0 {
+		t.Fatal("no learning phase happened")
+	}
+	fz := st.LearnCycles
+	if sys.frozenUntil != fz+1000 {
+		t.Fatalf("frozenUntil = %d, want LearnCycles+1000 = %d", sys.frozenUntil, fz+1000)
+	}
+	// endLearning may fire mid-cycle (the instance goal is hit inside an
+	// SM tick), so cycle fz itself can still execute a few instructions on
+	// SMs later in the fan-out; cycles fz+1..fz+999 are fully frozen.
+	// Samples are taken at cycle start.
+	start, end := samples[fz+1], samples[fz+1000]
+	if start.warpInstrs != end.warpInstrs {
+		t.Errorf("SMs executed %d instructions during the freeze window",
+			end.warpInstrs-start.warpInstrs)
+	}
+	if start.dramOps != end.dramOps {
+		t.Errorf("vaults served %d requests during the freeze window",
+			end.dramOps-start.dramOps)
+	}
+	if end.pcieBytes == start.pcieBytes {
+		t.Error("links should keep moving in-flight traffic during the freeze")
+	}
+	// After the freeze, SMs resume.
+	if st.WarpInstrs == end.warpInstrs {
+		t.Error("no instructions executed after the freeze")
+	}
+}
+
+// TestWheelOverflowDelayInSystem: a config whose modeled latency exceeds
+// the wheel horizon (8192) must run to completion — the seed loop panicked
+// on wheel.after(delay >= 8192).
+func TestWheelOverflowDelayInSystem(t *testing.T) {
+	env := streamEnv(t, 4, 4)
+	want := refMem(t, env)
+	cfg := DefaultConfig()
+	cfg.Mapping = MapBaseline
+	cfg.OffloadPipeLat = wheelHorizon + 1000 // absurdly deep offload pipeline
+	sys := runSim(t, cfg, env)
+	if ok, addr := mem.Equal(want, sys.mem); !ok {
+		t.Fatalf("run with over-horizon latency diverged at %#x", addr)
+	}
+	if sys.Stats().OffloadsSent == 0 {
+		t.Fatal("run should still offload")
+	}
+}
+
+// TestEventLoopMatchesPerCycleStats is the equivalence guarantee behind
+// the event-driven loop: over the Fig. 9 workload×config matrix, jumping
+// idle cycles must produce byte-identical Stats to ticking every cycle.
+func TestEventLoopMatchesPerCycleStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-system simulations")
+	}
+	configs := []struct {
+		name string
+		mk   func() Config
+	}{
+		{"baseline", BaselineConfig},
+		{"noctrl-bmap", func() Config {
+			c := DefaultConfig()
+			c.Offload = OffloadUncontrolled
+			c.Mapping = MapBaseline
+			return c
+		}},
+		{"noctrl-tmap", func() Config {
+			c := DefaultConfig()
+			c.Offload = OffloadUncontrolled
+			return c
+		}},
+		{"ctrl-bmap", func() Config {
+			c := DefaultConfig()
+			c.Mapping = MapBaseline
+			return c
+		}},
+		{"ctrl-tmap", DefaultConfig},
+	}
+	for _, w := range workloads.All() {
+		inst, err := w.Build(0.03)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Abbr, err)
+		}
+		for _, c := range configs {
+			t.Run(fmt.Sprintf("%s/%s", w.Abbr, c.name), func(t *testing.T) {
+				var stats [2]*Stats
+				var mems [2]*mem.Flat
+				for i, perCycle := range []bool{false, true} {
+					run := inst.Clone()
+					cfg := c.mk()
+					cfg.MaxCycles = 100_000_000
+					sys := New(cfg, run.Mem, run.Alloc)
+					sys.SetPerCycleLoop(perCycle)
+					if err := sys.Run(run.Launches); err != nil {
+						t.Fatal(err)
+					}
+					stats[i] = sys.Stats()
+					mems[i] = run.Mem
+				}
+				if !reflect.DeepEqual(stats[0], stats[1]) {
+					t.Errorf("event-driven and per-cycle Stats diverge:\nevent:    %+v\npercycle: %+v",
+						stats[0], stats[1])
+				}
+				if ok, addr := mem.Equal(mems[0], mems[1]); !ok {
+					t.Errorf("memory images diverge at %#x", addr)
+				}
+			})
+		}
+	}
+}

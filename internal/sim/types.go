@@ -1,6 +1,10 @@
 package sim
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"repro/internal/isa"
+)
 
 // txn is one line-granularity memory transaction emitted by an SM's LSU
 // after coalescing: a load of a full cache line, or a write-through store
@@ -10,8 +14,27 @@ type txn struct {
 	bytes int    // store payload bytes (0 for loads)
 	store bool
 	atom  bool
-	// onData runs when the load data (or store ack) reaches the SM.
-	onData func(now int64)
+	// Completion target, typed instead of a per-txn closure so issuing a
+	// memory instruction allocates only the txn itself: the issuing SM,
+	// plus the warp and destination register for store/atomic acks.
+	sm  *SM
+	sw  *smWarp
+	reg isa.Reg
+}
+
+// complete delivers the load data (or store ack) back to the issuing SM —
+// the typed equivalent of the old per-txn onData closure.
+func (t *txn) complete(now int64) {
+	sm := t.sm
+	sm.sys.inflight--
+	if t.store {
+		sm.storeAck(t.sw, now)
+		if t.atom {
+			sm.regClear(t.sw, t.reg, now)
+		}
+	} else {
+		sm.fill(t.line, now)
+	}
 }
 
 // Packet size constants (bytes). The paper normalizes address/data/register

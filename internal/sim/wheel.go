@@ -1,48 +1,141 @@
 package sim
 
-// wheel is a fixed-horizon timer wheel for scheduling callbacks at future
-// cycles. All model delays are far below the horizon; exceeding it panics
-// (a model bug, not an input condition).
+import "repro/internal/dram"
+
+// The wheel is the simulator's global timer: a fixed-horizon timer wheel
+// whose slots hold typed events. The hot schedulers (offload pipeline,
+// L2 routing, vault crossbar retries, warp wakeups) file small value
+// structs instead of closures, so the steady-state loop allocates nothing
+// per scheduled event; cold paths can still pass an arbitrary callback
+// (wevFunc). Delays at or beyond the horizon land in an overflow bucket
+// and are re-filed into the wheel once they come within range — a long
+// modeled latency (scaled PCIe, future LLM-workload delays) is an input
+// condition, not a model bug.
 type wheel struct {
-	slots [][]func(now int64)
-	now   int64
-	count int
+	sys      *System
+	slots    [][]wheelEvent
+	now      int64
+	count    int
+	overflow []farEvent // due >= now+wheelHorizon; re-filed once in range
 }
 
 const wheelHorizon = 1 << 13 // 8192 cycles covers every fixed delay used
 
-func newWheel() *wheel {
-	return &wheel{slots: make([][]func(int64), wheelHorizon)}
+// Event kinds. wevFunc runs an arbitrary callback; the others are the
+// allocation-free encodings of the hot schedule sites.
+const (
+	wevFunc          uint8 = iota // fn(now)
+	wevReconsider                 // sm.reconsider(sw, now): far-future warp wakeup
+	wevLSURetry                   // MSHR-full retry: re-ready sw if still stalled
+	wevSendOffload                // offload pipeline done: send job's request packet
+	wevFinishOffload              // ideal-mode ack: resume job's requesting warp
+	wevRouteLoad                  // L2 miss of `line` leaves the L2 toward memory
+	wevRouteStore                 // write-through store txn leaves the L2
+	wevVaultTry                   // crossbar delivery: enqueue req into vault (retry on full)
+	wevTxnDone                    // t.complete(now): load data / store ack reaches the SM
+)
+
+// wheelEvent is one scheduled occurrence. Exactly the fields its kind
+// needs are set; the struct is stored by value in the slot slices.
+type wheelEvent struct {
+	kind  uint8
+	fn    func(now int64)
+	sm    *SM
+	sw    *smWarp
+	job   *offloadJob
+	t     *txn
+	vault *dram.Vault
+	req   *dram.Request
+	line  uint64
+}
+
+type farEvent struct {
+	at int64
+	ev wheelEvent
+}
+
+func newWheel(sys *System) *wheel {
+	return &wheel{sys: sys, slots: make([][]wheelEvent, wheelHorizon)}
 }
 
 // after schedules fn to run at now+delay (delay >= 1).
 func (w *wheel) after(delay int64, fn func(now int64)) {
+	w.afterEvent(delay, wheelEvent{kind: wevFunc, fn: fn})
+}
+
+// afterEvent schedules ev to run at now+delay (delay >= 1). Delays at or
+// beyond the wheel horizon go to the overflow bucket.
+func (w *wheel) afterEvent(delay int64, ev wheelEvent) {
 	if delay < 1 {
 		delay = 1
 	}
+	w.count++
 	if delay >= wheelHorizon {
-		panic("sim: wheel delay exceeds horizon")
+		w.overflow = append(w.overflow, farEvent{at: w.now + delay, ev: ev})
+		return
 	}
 	i := (w.now + delay) % wheelHorizon
-	w.slots[i] = append(w.slots[i], fn)
-	w.count++
+	w.slots[i] = append(w.slots[i], ev)
 }
 
-// tick runs callbacks due at cycle `now`. Must be called once per cycle
-// with monotonically increasing now.
+// tick runs events due at cycle `now`. Must be called with monotonically
+// increasing now; cycles with no due events may be skipped entirely (the
+// event-driven loop jumps them), which is safe because a slot's due cycle
+// is unique within the horizon.
 func (w *wheel) tick(now int64) {
 	w.now = now
+	if len(w.overflow) > 0 {
+		w.refileOverflow(now)
+	}
 	i := now % wheelHorizon
 	due := w.slots[i]
 	if len(due) == 0 {
 		return
 	}
-	w.slots[i] = nil
+	w.slots[i] = due[:0]
 	w.count -= len(due)
-	for _, fn := range due {
-		fn(now)
+	for k := range due {
+		w.sys.runEvent(&due[k], now)
 	}
 }
 
-// pending reports scheduled-but-unfired callbacks.
+// refileOverflow moves far-future events that came within the horizon into
+// their wheel slots, preserving insertion order (determinism).
+func (w *wheel) refileOverflow(now int64) {
+	kept := w.overflow[:0]
+	for _, fe := range w.overflow {
+		if fe.at-now < wheelHorizon {
+			i := fe.at % wheelHorizon
+			w.slots[i] = append(w.slots[i], fe.ev)
+		} else {
+			kept = append(kept, fe)
+		}
+	}
+	w.overflow = kept
+}
+
+// pending reports scheduled-but-unfired events (overflow included).
 func (w *wheel) pending() int { return w.count }
+
+// nextDue returns the earliest cycle > w.now with a pending event, or -1.
+// The scan walks forward from w.now, so its cost is proportional to the
+// distance to the next event — the same distance the event-driven loop is
+// about to skip.
+func (w *wheel) nextDue() int64 {
+	if w.count == 0 {
+		return -1
+	}
+	for d := int64(1); d <= wheelHorizon; d++ {
+		if len(w.slots[(w.now+d)%wheelHorizon]) > 0 {
+			return w.now + d
+		}
+	}
+	// Only far-future (overflow) events remain.
+	best := int64(-1)
+	for _, fe := range w.overflow {
+		if best < 0 || fe.at < best {
+			best = fe.at
+		}
+	}
+	return best
+}

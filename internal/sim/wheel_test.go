@@ -6,7 +6,7 @@ import (
 )
 
 func TestWheelFiresAtExactCycle(t *testing.T) {
-	w := newWheel()
+	w := newWheel(&System{})
 	fired := map[int64]int64{}
 	now := int64(0)
 	schedule := func(delay int64) {
@@ -33,7 +33,7 @@ func TestWheelFiresAtExactCycle(t *testing.T) {
 }
 
 func TestWheelZeroDelayClamped(t *testing.T) {
-	w := newWheel()
+	w := newWheel(&System{})
 	fired := int64(-1)
 	w.tick(0)
 	w.after(0, func(now int64) { fired = now })
@@ -45,18 +45,75 @@ func TestWheelZeroDelayClamped(t *testing.T) {
 	}
 }
 
-func TestWheelHorizonPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("exceeding the horizon should panic")
+// TestWheelOverflowFiresExactly: delays at and beyond the horizon no longer
+// panic — they park in the overflow bucket and fire at the exact cycle once
+// re-filed into range. Long modeled latencies (scaled PCIe, future workload
+// sweeps) are legitimate configs, not crashes.
+func TestWheelOverflowFiresExactly(t *testing.T) {
+	w := newWheel(&System{})
+	fired := map[int64]int64{}
+	schedule := func(delay int64) {
+		at := delay // scheduled at now=0
+		w.after(delay, func(fireNow int64) { fired[at] = fireNow })
+	}
+	schedule(wheelHorizon)     // exactly at the horizon
+	schedule(wheelHorizon + 1) // just beyond
+	schedule(10 * wheelHorizon)
+	if w.pending() != 3 {
+		t.Fatalf("pending = %d, want 3", w.pending())
+	}
+	for now := int64(0); now <= 10*wheelHorizon+5; now++ {
+		w.tick(now)
+	}
+	for _, at := range []int64{wheelHorizon, wheelHorizon + 1, 10 * wheelHorizon} {
+		if got, ok := fired[at]; !ok {
+			t.Errorf("overflow event for cycle %d never fired", at)
+		} else if got != at {
+			t.Errorf("overflow event scheduled for %d fired at %d", at, got)
 		}
-	}()
-	newWheel().after(wheelHorizon, func(int64) {})
+	}
+	if w.pending() != 0 {
+		t.Errorf("pending = %d after drain", w.pending())
+	}
+}
+
+// TestWheelOverflowSurvivesSkippedCycles: the event-driven loop may jump
+// straight to nextDue; overflow events must re-file and fire under that
+// tick pattern too.
+func TestWheelOverflowSurvivesSkippedCycles(t *testing.T) {
+	w := newWheel(&System{})
+	var firedAt int64 = -1
+	w.after(3*wheelHorizon+7, func(now int64) { firedAt = now })
+	for now := w.nextDue(); now >= 0; now = w.nextDue() {
+		w.tick(now)
+	}
+	if firedAt != 3*wheelHorizon+7 {
+		t.Errorf("fired at %d, want %d", firedAt, int64(3*wheelHorizon+7))
+	}
+}
+
+func TestWheelNextDue(t *testing.T) {
+	w := newWheel(&System{})
+	if w.nextDue() != -1 {
+		t.Errorf("empty wheel nextDue = %d, want -1", w.nextDue())
+	}
+	w.after(37, func(int64) {})
+	if got := w.nextDue(); got != 37 {
+		t.Errorf("nextDue = %d, want 37", got)
+	}
+	w.after(2*wheelHorizon, func(int64) {})
+	if got := w.nextDue(); got != 37 {
+		t.Errorf("nextDue with overflow = %d, want 37", got)
+	}
+	w.tick(37)
+	if got := w.nextDue(); got != 2*wheelHorizon {
+		t.Errorf("nextDue after near event = %d, want %d", got, int64(2*wheelHorizon))
+	}
 }
 
 func TestWheelCascading(t *testing.T) {
 	// Events scheduled from within events must land on later cycles.
-	w := newWheel()
+	w := newWheel(&System{})
 	var order []int64
 	w.after(2, func(now int64) {
 		order = append(order, now)
