@@ -2,6 +2,7 @@
 // prints the measured statistics.
 //
 //	tomsim -workload LIB -config ctrl-tmap -scale 1.0
+//	tomsim -workload LIB -policy coda                 # override the offload policy
 //	tomsim -workload LIB -cache                       # replay from .tomcache/
 //	tomsim -workload LIB -trace out.jsonl -metrics out.json
 //	tomsim -workload LIB -trace out.trace -trace-format binary
@@ -41,15 +42,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	tom "repro"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/offload"
 )
 
 func main() {
 	workload := flag.String("workload", "LIB", "workload abbreviation (see -list)")
 	config := flag.String("config", string(tom.TOM), "system configuration name")
+	policy := flag.String("policy", "", "offload-policy override: "+
+		strings.Join(offload.Names(), ", ")+" (\"\" = the configuration's own)")
 	scale := flag.Float64("scale", 1.0, "problem-size scale factor")
 	compare := flag.Bool("compare", true, "also run the baseline and report speedup")
 	list := flag.Bool("list", false, "list workloads and configurations")
@@ -71,6 +76,9 @@ func main() {
 	if (*adapt || *adaptIterate > 0) && (*tracePath != "" || *metricsPath != "") {
 		fatal(fmt.Errorf("-adapt is incompatible with -trace/-metrics"))
 	}
+	if *policy != "" && (*adapt || *adaptIterate > 0) {
+		fatal(fmt.Errorf("-policy is incompatible with -adapt (the feedback loop profiles the configuration's own policy)"))
+	}
 
 	if *list {
 		fmt.Println("workloads:")
@@ -80,6 +88,18 @@ func main() {
 		fmt.Println("configurations:")
 		for _, c := range core.AllConfigNames() {
 			fmt.Printf("  %s\n", c)
+		}
+		fmt.Println("policies (-policy):")
+		for _, n := range offload.Names() {
+			p, err := offload.ByName(n)
+			if err != nil {
+				fatal(err)
+			}
+			if params := p.Params(); params != "" {
+				fmt.Printf("  %s (%s)\n", n, params)
+			} else {
+				fmt.Printf("  %s\n", n)
+			}
 		}
 		return
 	}
@@ -135,7 +155,11 @@ func main() {
 		adaptive = ad
 		res = ad.Result
 	} else {
-		r, err := s.RunObserved(*workload, core.ConfigName(*config), observer)
+		spec, err := s.SpecWithPolicy(*workload, core.ConfigName(*config), *policy)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := s.RunSpecObserved(spec, observer)
 		if err != nil {
 			fatal(err)
 		}
@@ -167,14 +191,18 @@ func main() {
 
 	st := &res.Stats
 	fmt.Printf("workload       %s\nconfig         %s\n", res.Abbr, res.Config)
+	if *policy != "" {
+		fmt.Printf("policy         %s (override)\n", *policy)
+	}
 	fmt.Printf("cycles         %d\nIPC            %.2f\n", st.Cycles, st.IPC())
 	fmt.Printf("thread instrs  %d (%.1f%% on stack SMs)\n", st.ThreadInstrs, st.OffloadedInstrFraction()*100)
 	fmt.Printf("off-chip bytes %d (RX %d, TX %d, mem-mem %d)\n",
 		st.OffChipBytes(), st.GPURXBytes, st.GPUTXBytes, st.CrossBytes)
-	fmt.Printf("offloads       %d sent, %d acked, %d skipped (busy %d / full %d / cond %d / alu %d / nodest %d)\n",
+	fmt.Printf("offloads       %d sent, %d acked, %d skipped (busy %d / full %d / cond %d / alu %d / nodest %d / destbound %d / split %d / vaultfull %d)\n",
 		st.OffloadsSent, st.OffloadsAcked, st.OffloadsSkipped(),
 		st.OffloadsSkippedBusy, st.OffloadsSkippedFull, st.OffloadsSkippedCond,
-		st.OffloadsSkippedALU, st.OffloadsSkippedNoDest)
+		st.OffloadsSkippedALU, st.OffloadsSkippedNoDest,
+		st.OffloadsSkippedDestBound, st.OffloadsSkippedSplit, st.OffloadsSkippedVaultFull)
 	fmt.Printf("caches         L1 %.1f%%, L2 %.1f%%, stack L1 %.1f%%\n",
 		hitPct(st.L1Hits, st.L1Misses), hitPct(st.L2Hits, st.L2Misses), hitPct(st.StackL1Hits, st.StackL1Misses))
 	fmt.Printf("DRAM           %d activations, %.1f%% row hits\n",

@@ -71,20 +71,44 @@ func (m *Metadata) AtPC(pc int) *Candidate {
 	return m.byStart[pc]
 }
 
-// Analyze runs offload-candidate selection on k with cost parameters p.
+// SelectOptions parameterizes candidate selection so offload policies can
+// reuse the legality machinery (§3.1.4) while swapping the enumeration
+// granularity and the cost model (the offload.Policy.SelectCandidates seam).
+type SelectOptions struct {
+	// Cost is the bandwidth cost model handed to Accept.
+	Cost CostParams
+	// SkipLoops disables pass 1 (loop candidates) entirely; only
+	// straight-line block regions are enumerated.
+	SkipLoops bool
+	// MaxBlockMems, when > 0, splits each straight-line block at global
+	// memory instruction boundaries so every region contains at most this
+	// many loads+stores — the near-bank fine-grained offload granularity.
+	MaxBlockMems int
+	// Accept applies the cost model to a legal region: it must fill
+	// c.BWTX/BWRX and c.SavesTX/SavesRX (and c.Trip.Cond.MinTrips for
+	// conditional loops) and report whether the candidate enters the
+	// metadata table. Nil means AcceptTOMCost.
+	Accept func(c *Candidate, p CostParams) bool
+}
+
+// Analyze runs TOM's offload-candidate selection on k with cost parameters p.
 func Analyze(k *isa.Kernel, p CostParams) (*Metadata, error) {
+	return AnalyzeWith(k, SelectOptions{Cost: p})
+}
+
+// AnalyzeWith runs offload-candidate selection under explicit options.
+// AnalyzeWith(k, SelectOptions{Cost: p}) is exactly Analyze(k, p).
+func AnalyzeWith(k *isa.Kernel, opt SelectOptions) (*Metadata, error) {
 	info, err := cfgx.Analyze(k)
 	if err != nil {
 		return nil, err
 	}
+	accept := opt.Accept
+	if accept == nil {
+		accept = AcceptTOMCost
+	}
 	md := &Metadata{Kernel: k, Info: info, byStart: map[int]*Candidate{}}
 
-	// Pass 1: loop candidates. Outermost-first (larger regions first);
-	// overlapping smaller loops are skipped.
-	loops := info.Graph.Loops()
-	sort.Slice(loops, func(i, j int) bool {
-		return loops[i].EndPC-loops[i].StartPC > loops[j].EndPC-loops[j].StartPC
-	})
 	taken := make([]bool, len(k.Instrs))
 	overlap := func(s, e int) bool {
 		for pc := s; pc < e; pc++ {
@@ -99,16 +123,31 @@ func Analyze(k *isa.Kernel, p CostParams) (*Metadata, error) {
 			taken[pc] = true
 		}
 	}
-	for _, l := range loops {
-		if !l.Contiguous || overlap(l.StartPC, l.EndPC) {
-			continue
+	try := func(start, end int, isLoop bool, trip TripInfo) {
+		if end <= start || overlap(start, end) {
+			return
 		}
-		c, ok := buildCandidate(md, p, l.StartPC, l.EndPC, true, analyzeTrips(info, l))
-		if !ok {
-			continue
+		c, ok := buildRegion(md, start, end, isLoop, trip)
+		if !ok || !accept(c, opt.Cost) {
+			return
 		}
 		claim(c.StartPC, c.EndPC)
 		md.addCandidate(c)
+	}
+
+	// Pass 1: loop candidates. Outermost-first (larger regions first);
+	// overlapping smaller loops are skipped.
+	if !opt.SkipLoops {
+		loops := info.Graph.Loops()
+		sort.Slice(loops, func(i, j int) bool {
+			return loops[i].EndPC-loops[i].StartPC > loops[j].EndPC-loops[j].StartPC
+		})
+		for _, l := range loops {
+			if !l.Contiguous {
+				continue
+			}
+			try(l.StartPC, l.EndPC, true, analyzeTrips(info, l))
+		}
 	}
 
 	// Pass 2: straight-line block candidates outside chosen loops. The
@@ -124,15 +163,26 @@ func Analyze(k *isa.Kernel, p CostParams) (*Metadata, error) {
 			}
 			break
 		}
-		if end <= b.Start || overlap(b.Start, end) {
+		if opt.MaxBlockMems > 0 {
+			// Fine-grained enumeration: cut the block after every
+			// MaxBlockMems-th global memory instruction so each segment is
+			// centred on at most that many loads/stores. Segments with no
+			// memory access are rejected by buildRegion's nLD+nST check.
+			segStart, mems := b.Start, 0
+			for pc := b.Start; pc < end; pc++ {
+				op := k.Instrs[pc].Op
+				if op.IsLoad() || op.IsStore() {
+					mems++
+					if mems >= opt.MaxBlockMems {
+						try(segStart, pc+1, false, TripInfo{})
+						segStart, mems = pc+1, 0
+					}
+				}
+			}
+			try(segStart, end, false, TripInfo{})
 			continue
 		}
-		c, ok := buildCandidate(md, p, b.Start, end, false, TripInfo{})
-		if !ok {
-			continue
-		}
-		claim(c.StartPC, c.EndPC)
-		md.addCandidate(c)
+		try(b.Start, end, false, TripInfo{})
 	}
 
 	sort.Slice(md.Candidates, func(i, j int) bool {
@@ -149,9 +199,11 @@ func (m *Metadata) addCandidate(c *Candidate) {
 	m.byStart[c.StartPC] = c
 }
 
-// buildCandidate checks legality (§3.1.4) and applies the cost model; ok is
-// false when the region is illegal or not beneficial.
-func buildCandidate(md *Metadata, p CostParams, start, end int, isLoop bool, trip TripInfo) (*Candidate, bool) {
+// buildRegion checks legality (§3.1.4) and derives the cost-independent
+// candidate attributes; ok is false when the region is illegal or touches
+// no global memory. Cost fields (BWTX/BWRX, the 2-bit tag, conditional
+// MinTrips) are left for the acceptance function.
+func buildRegion(md *Metadata, start, end int, isLoop bool, trip TripInfo) (*Candidate, bool) {
 	k := md.Kernel
 	nLD, nST := 0, 0
 	for pc := start; pc < end; pc++ {
@@ -196,34 +248,41 @@ func buildCandidate(md *Metadata, p CostParams, start, end int, isLoop bool, tri
 			alu++
 		}
 	}
-	c := &Candidate{
+	return &Candidate{
 		StartPC: start, EndPC: end,
 		LiveIn: liveIn, LiveOut: liveOut,
 		NLD: nLD, NST: nST,
 		IsLoop: isLoop, Trip: trip,
 		ALUFrac: float64(alu) / float64(end-start),
-	}
+	}, true
+}
+
+// AcceptTOMCost is TOM's offload decision (equations (3)/(4), §3.1): reject
+// a region unless offloading it saves aggregate off-chip bandwidth at the
+// decision trip count — the static count for counted loops, the break-even
+// threshold for conditional loops (recorded as the runtime hint), and a
+// single body execution otherwise.
+func AcceptTOMCost(c *Candidate, p CostParams) bool {
 	regTX, regRX := c.NumLiveIn(), c.NumLiveOut()
 	decide := func(trips float64) (float64, float64, bool) {
-		tx, rx := p.BWDelta(regTX, regRX, nLD, nST, trips)
+		tx, rx := p.BWDelta(regTX, regRX, c.NLD, c.NST, trips)
 		return tx, rx, tx+rx < 0
 	}
 	switch {
-	case isLoop && trip.Known:
-		tx, rx, ok := decide(float64(trip.Static))
+	case c.IsLoop && c.Trip.Known:
+		tx, rx, ok := decide(float64(c.Trip.Static))
 		if !ok {
-			return nil, false
+			return false
 		}
 		c.BWTX, c.BWRX = tx, rx
-	case isLoop && trip.Cond != nil:
+	case c.IsLoop && c.Trip.Cond != nil:
 		// Conditional candidate: find the break-even trip count; the
 		// hardware offloads only when the runtime count reaches it.
-		minT := p.MinBeneficialTrips(regTX, regRX, nLD, nST)
+		minT := p.MinBeneficialTrips(regTX, regRX, c.NLD, c.NST)
 		if minT == 0 {
-			return nil, false
+			return false
 		}
-		trip.Cond.MinTrips = minT
-		c.Trip = trip
+		c.Trip.Cond.MinTrips = minT
 		tx, rx, _ := decide(float64(minT))
 		c.BWTX, c.BWRX = tx, rx
 	default:
@@ -231,13 +290,35 @@ func buildCandidate(md *Metadata, p CostParams, start, end int, isLoop bool, tri
 		// single execution of the body.
 		tx, rx, ok := decide(1)
 		if !ok {
-			return nil, false
+			return false
 		}
 		c.BWTX, c.BWRX = tx, rx
 	}
 	c.SavesTX = c.BWTX < 0
 	c.SavesRX = c.BWRX < 0
-	return c, true
+	return true
+}
+
+// AcceptAll admits every legal region, still evaluating the cost model so
+// the 2-bit channel tag and conditional hints stay meaningful for gating.
+// Policies that select on other grounds (co-location, granularity) use it
+// as their base acceptance.
+func AcceptAll(c *Candidate, p CostParams) bool {
+	regTX, regRX := c.NumLiveIn(), c.NumLiveOut()
+	trips := 1.0
+	switch {
+	case c.IsLoop && c.Trip.Known:
+		trips = float64(c.Trip.Static)
+	case c.IsLoop && c.Trip.Cond != nil:
+		if minT := p.MinBeneficialTrips(regTX, regRX, c.NLD, c.NST); minT > 0 {
+			c.Trip.Cond.MinTrips = minT
+			trips = float64(minT)
+		}
+	}
+	c.BWTX, c.BWRX = p.BWDelta(regTX, regRX, c.NLD, c.NST, trips)
+	c.SavesTX = c.BWTX < 0
+	c.SavesRX = c.BWRX < 0
+	return true
 }
 
 // String summarizes the candidate.

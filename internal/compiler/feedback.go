@@ -22,7 +22,13 @@ type GateStats struct {
 	SkippedFull   uint64 `json:"skipped_full,omitempty"`
 	SkippedALU    uint64 `json:"skipped_alu,omitempty"`
 	SkippedNoDest uint64 `json:"skipped_nodest,omitempty"`
-	LearnEntries  uint64 `json:"learn_entries,omitempty"`
+	// SkippedDestBound/Split/VaultFull are the policy-layer reasons: a
+	// destination dry run cut short by its step bound, a co-location veto
+	// (coda), and a per-vault slot limit (mpu).
+	SkippedDestBound uint64 `json:"skipped_destbound,omitempty"`
+	SkippedSplit     uint64 `json:"skipped_split,omitempty"`
+	SkippedVaultFull uint64 `json:"skipped_vaultfull,omitempty"`
+	LearnEntries     uint64 `json:"learn_entries,omitempty"`
 
 	// TripSum/TripObs accumulate the leader-lane trip counts the Offload
 	// Controller evaluates at region entry (§4.2 step 1), observed for
@@ -44,12 +50,19 @@ func (g *GateStats) CountSkip(reason string) {
 		g.SkippedALU++
 	case "nodest":
 		g.SkippedNoDest++
+	case "destbound":
+		g.SkippedDestBound++
+	case "split":
+		g.SkippedSplit++
+	case "vaultfull":
+		g.SkippedVaultFull++
 	}
 }
 
 // Gated sums the entries suppressed by any gate.
 func (g *GateStats) Gated() uint64 {
-	return g.SkippedCond + g.SkippedBusy + g.SkippedFull + g.SkippedALU + g.SkippedNoDest
+	return g.SkippedCond + g.SkippedBusy + g.SkippedFull + g.SkippedALU +
+		g.SkippedNoDest + g.SkippedDestBound + g.SkippedSplit + g.SkippedVaultFull
 }
 
 // Decisions counts entries that reached the offload decision (sent or
@@ -117,6 +130,9 @@ func (p GateProfile) Merge(q GateProfile) {
 		t.SkippedFull += g.SkippedFull
 		t.SkippedALU += g.SkippedALU
 		t.SkippedNoDest += g.SkippedNoDest
+		t.SkippedDestBound += g.SkippedDestBound
+		t.SkippedSplit += g.SkippedSplit
+		t.SkippedVaultFull += g.SkippedVaultFull
 		t.LearnEntries += g.LearnEntries
 		t.TripSum += g.TripSum
 		t.TripObs += g.TripObs

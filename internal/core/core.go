@@ -27,6 +27,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -53,6 +54,13 @@ const (
 	// Extension ablation (§6.4 future work): ALU-ratio-aware control at
 	// 4x stack warp capacity, versus plain 4x (CfgWarp4x).
 	CfgWarp4xALU ConfigName = "ctrl-tmap-w4-alu"
+	// Rival offload policies (-exp policies): CODA-style co-location-aware
+	// offloading on TOM's system (transparent mapping retained — the veto
+	// replaces the mapping-oblivious send), and near-bank MPU offload on
+	// the baseline mapping (near-bank units address vaults directly; the
+	// transparent remap would fight the per-vault destination choice).
+	CfgCoda ConfigName = "coda"
+	CfgMPU  ConfigName = "mpu"
 )
 
 // AllConfigNames lists every declared configuration in evaluation order.
@@ -64,6 +72,7 @@ func AllConfigNames() []ConfigName {
 		CfgBaseline, CfgIdeal, CfgNoCtrlBmap, CfgNoCtrlTmap, CfgCtrlBmap,
 		CfgCtrlTmap, CfgCtrlOracle, CfgWarp2x, CfgWarp4x, CfgInternal1x,
 		CfgCross0125, CfgCross025, CfgCross100, CfgNoCoherence, CfgWarp4xALU,
+		CfgCoda, CfgMPU,
 	}
 }
 
@@ -104,6 +113,11 @@ func buildConfig(name ConfigName) (sim.Config, error) {
 	case CfgWarp4xALU:
 		c.StackWarpMult = 4
 		c.ALUGate = 0.75
+	case CfgCoda:
+		c.Policy = "coda"
+	case CfgMPU:
+		c.Mapping = sim.MapBaseline
+		c.Policy = "mpu"
 	default:
 		return c, fmt.Errorf("core: unknown configuration %q", name)
 	}
@@ -221,6 +235,44 @@ func (s *Session) logf(format string, args ...any) {
 // the session's scale.
 func (s *Session) Spec(abbr string, name ConfigName) (RunSpec, error) {
 	return NewRunSpec(abbr, s.Scale, name)
+}
+
+// SpecWithPolicy resolves like Spec and then overrides the offload policy
+// ("" keeps the configuration's own). The override is validated against the
+// policy registry here, so an unknown name fails with the list of choices
+// instead of panicking inside the simulator; it reaches the digest through
+// both the canonical config string and the explicit policy fold, so
+// overridden runs never alias the base configuration's cache records.
+func (s *Session) SpecWithPolicy(abbr string, name ConfigName, policy string) (RunSpec, error) {
+	spec, err := s.Spec(abbr, name)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	if policy != "" {
+		if _, err := offload.ByName(policy); err != nil {
+			return RunSpec{}, err
+		}
+		spec.Cfg.Policy = policy
+	}
+	return spec, nil
+}
+
+// RunSpecExact executes (or replays) a fully-resolved spec through the
+// layered caches — the entry point for callers that adjusted the spec
+// beyond a named configuration (tomsim -policy).
+func (s *Session) RunSpecExact(spec RunSpec) (*RunResult, error) {
+	return s.runSpec(spec, nil)
+}
+
+// RunSpecObserved executes a fully-resolved spec with the observer
+// attached. Like RunObserved it never replays from a cache: only an actual
+// execution can produce time series. A nil observer falls back to the
+// cached path.
+func (s *Session) RunSpecObserved(spec RunSpec, o *obs.Observer) (*RunResult, error) {
+	if o == nil {
+		return s.runSpec(spec, nil)
+	}
+	return s.runUncached(spec, o, nil)
 }
 
 // instance returns the pristine instance for a workload.

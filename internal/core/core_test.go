@@ -4,19 +4,54 @@ import (
 	"testing"
 )
 
+// TestConfigRegistry derives from AllConfigNames — the single source of
+// declared configurations — so a new config (a policy config included) is
+// covered here exactly once with no hardwired list to drift.
 func TestConfigRegistry(t *testing.T) {
-	names := []ConfigName{
-		CfgBaseline, CfgIdeal, CfgNoCtrlBmap, CfgNoCtrlTmap, CfgCtrlBmap,
-		CfgCtrlTmap, CfgCtrlOracle, CfgWarp2x, CfgWarp4x, CfgInternal1x,
-		CfgCross0125, CfgCross025, CfgCross100, CfgNoCoherence,
-	}
+	names := AllConfigNames()
+	seen := map[ConfigName]int{}
 	for _, n := range names {
+		seen[n]++
 		if _, err := buildConfig(n); err != nil {
 			t.Errorf("%s: %v", n, err)
 		}
 	}
+	for n, c := range seen {
+		if c != 1 {
+			t.Errorf("config %q declared %d times in AllConfigNames", n, c)
+		}
+	}
+	for _, n := range []ConfigName{CfgCoda, CfgMPU} {
+		if seen[n] != 1 {
+			t.Errorf("policy config %q must appear exactly once, saw %d", n, seen[n])
+		}
+	}
 	if _, err := buildConfig("bogus"); err == nil {
 		t.Error("unknown config should fail")
+	}
+}
+
+// TestPolicyDigestDistinct: runs of different offload policies must never
+// share a cache record — the digest folds the policy name and parameters on
+// top of the canonical config string.
+func TestPolicyDigestDistinct(t *testing.T) {
+	digests := map[string]ConfigName{}
+	for _, name := range []ConfigName{CfgCtrlTmap, CfgIdeal, CfgCoda, CfgMPU} {
+		sp, err := NewRunSpec("SP", 0.03, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := sp.Digest()
+		if prev, dup := digests[d]; dup {
+			t.Errorf("configs %s and %s share digest %.12s", prev, name, d)
+		}
+		digests[d] = name
+	}
+	// Same config twice must still digest identically (cache hits work).
+	a, _ := NewRunSpec("SP", 0.03, CfgCoda)
+	b, _ := NewRunSpec("SP", 0.03, CfgCoda)
+	if a.Digest() != b.Digest() {
+		t.Error("identical specs digest differently")
 	}
 }
 

@@ -163,7 +163,7 @@ func (r *Runner) Fig8() (*Table, error) {
 	for _, fc := range []struct {
 		label string
 		cfg   ConfigName
-	}{{"offloaded%% no-ctrl", CfgNoCtrlTmap}, {"offloaded%% ctrl", CfgCtrlTmap}} {
+	}{{"offloaded% no-ctrl", CfgNoCtrlTmap}, {"offloaded% ctrl", CfgCtrlTmap}} {
 		var vals []float64
 		for _, abbr := range Abbrs() {
 			res, err := r.Run(abbr, fc.cfg)
@@ -286,6 +286,54 @@ func (r *Runner) Fig10() (*Table, error) {
 			Row{Label: fc.label + " links", Values: withAvg(links, Mean)},
 			Row{Label: fc.label + " DRAM", Values: withAvg(dram, Mean)},
 		)
+	}
+	return t, nil
+}
+
+// policyConfigs are the offload-policy rivals of -exp policies: TOM and
+// its Fig. 2 idealization, plus the two schemes reproduced from related
+// work (CODA's co-location-aware offloading, near-bank MPU offload), each
+// at its natural system configuration.
+var policyConfigs = []struct {
+	label string
+	cfg   ConfigName
+}{
+	{"tom", CfgCtrlTmap},
+	{"ideal", CfgIdeal},
+	{"coda", CfgCoda},
+	{"mpu", CfgMPU},
+}
+
+// Policies compares every offload policy over all workloads against the
+// no-NDP baseline: speedup rows per policy, plus the offloaded-instruction
+// fraction that shows how differently the policies cut the work.
+func (r *Runner) Policies() (*Table, error) {
+	t := &Table{
+		ID: "policies", Title: "Speedup by offload policy (vs. no-NDP baseline)",
+		Columns: workloadColumns(),
+		Notes: []string{
+			"tom = ctrl-tmap; ideal = free offload + perfect co-location",
+			"coda = drop blocks whose data splits across stacks (ctrl-tmap system)",
+			"mpu = near-bank: single-access blocks, per-vault slots, cheap spawn (bmap)",
+		},
+	}
+	for _, pc := range policyConfigs {
+		row, err := r.speedupRow(pc.label, pc.cfg, CfgBaseline)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, pc := range policyConfigs {
+		var vals []float64
+		for _, abbr := range Abbrs() {
+			res, err := r.Run(abbr, pc.cfg)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, res.Stats.OffloadedInstrFraction())
+		}
+		t.Rows = append(t.Rows, Row{Label: pc.label + " offloaded%", Values: withAvg(vals, Mean)})
 	}
 	return t, nil
 }
@@ -439,7 +487,7 @@ func (r *Runner) AllExperiments() ([]*Table, error) {
 		{"fig8", r.Fig8}, {"fig9", r.Fig9}, {"fig10", r.Fig10},
 		{"fig11", r.Fig11}, {"fig12", r.Fig12}, {"fig13", r.Fig13},
 		{"xstack", r.CrossStackSweep}, {"coherence", r.CoherenceOverhead},
-		{"adapt", r.Adapt},
+		{"policies", r.Policies}, {"adapt", r.Adapt},
 	}
 	if err := r.Warm(FullMatrix()); err != nil {
 		return nil, err
@@ -484,6 +532,8 @@ func (r *Runner) Experiment(id string) (*Table, error) {
 		return r.CrossStackSweep()
 	case "coherence":
 		return r.CoherenceOverhead()
+	case "policies":
+		return r.Policies()
 	case "adapt":
 		return r.Adapt()
 	case "area":
@@ -495,5 +545,5 @@ func (r *Runner) Experiment(id string) (*Table, error) {
 // ExperimentIDs lists all experiment identifiers in paper order.
 func ExperimentIDs() []string {
 	return []string{"fig2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "xstack", "coherence", "adapt", "area"}
+		"fig11", "fig12", "fig13", "xstack", "coherence", "policies", "adapt", "area"}
 }

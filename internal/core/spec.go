@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"repro/internal/offload"
 	"repro/internal/sim"
 )
 
@@ -54,6 +55,18 @@ func (sp RunSpec) Digest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "workload=%s;scale=%v;config=%s;%s",
 		sp.Abbr, sp.Scale, sp.Config, sp.Cfg.Canonical())
+	// The offload policy's identity AND parameters participate: the policy
+	// name alone already reaches the digest through Cfg.Canonical(), but a
+	// policy's tunables (coda's window, mpu's spawn latency) live in the
+	// policy object, not the Config — fold them so runs of differently
+	// parameterized policies can never alias onto one cache record.
+	if pol, err := offload.ByName(sp.Cfg.PolicyName()); err == nil {
+		fmt.Fprintf(h, "policy=%s{%s};", pol.Name(), pol.Params())
+	} else {
+		// Unknown policy: digest the raw name; the run itself will fail
+		// loudly at sim.New, never silently alias.
+		fmt.Fprintf(h, "policy=%s{?};", sp.Cfg.PolicyName())
+	}
 	if a := sp.Adapt; a != nil {
 		// Every feedback parameter participates, including the cost model
 		// (omitting CostParams once aliased adaptive runs that differed only

@@ -79,14 +79,14 @@ func (a *Analyzer) ObserveInstance(addrs []uint64) {
 	}
 	for i, bit := range a.bits {
 		p := ConsecutiveBits{Stacks: a.Stacks, Bit: bit}
-		a.homeFrac[i] += colocation(p, a.lines)
+		a.homeFrac[i] += Colocation(p, a.lines)
 		home := p.Stack(a.lines[0])
 		if home == a.prevHome[i] {
 			a.adjSame[i]++
 		}
 		a.prevHome[i] = home
 	}
-	a.baselineFrac += colocation(a.baseline, a.lines)
+	a.baselineFrac += Colocation(a.baseline, a.lines)
 	a.instances++
 
 	if a.Table != nil {
@@ -98,9 +98,11 @@ func (a *Analyzer) ObserveInstance(addrs []uint64) {
 	}
 }
 
-// colocation returns the fraction of lines on the home (first line's)
-// stack under p.
-func colocation(p Policy, lines []uint64) float64 {
+// Colocation returns the fraction of lines on the home (first line's)
+// stack under p. The analyzer scores candidate mappings with it, and the
+// co-location-aware offload policy (CODA) reuses it to drop candidates
+// whose data splits across stacks. lines must be non-empty.
+func Colocation(p Policy, lines []uint64) float64 {
 	home := p.Stack(lines[0])
 	n := 0
 	for _, l := range lines {

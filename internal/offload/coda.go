@@ -1,0 +1,61 @@
+package offload
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+	"repro/internal/mapping"
+)
+
+func init() {
+	Register("coda", func() Policy { return CODA{Window: codaDefaultWindow} })
+}
+
+// codaDefaultWindow matches the learning phase's per-instance observation
+// window (sim's learnWindow): the co-location decision sees the same
+// footprint the Memory Map Analyzer scores mappings with.
+const codaDefaultWindow = 8
+
+// CODA models co-location-aware offloading (PAPERS.md: "CODA: Enabling
+// Co-location of Computation and Data"): offload a block only when its data
+// actually co-locates with the destination. Candidate enumeration and the
+// cost model are TOM's, but the destination dry run collects a window of
+// accesses instead of stopping at the first, and the gate scores the
+// instance with mapping.Colocation under the live data mapping — any
+// instance whose lines split across stacks stays on the GPU (gate reason
+// "split"), since offloading it would convert local accesses into
+// cross-stack traffic.
+type CODA struct {
+	// Window is the dry-run access window scored for co-location.
+	Window int
+}
+
+func (c CODA) Name() string   { return "coda" }
+func (c CODA) Params() string { return fmt.Sprintf("window=%d", c.Window) }
+
+func (c CODA) Traits() Traits {
+	return Traits{ObserveTrips: true, DryRunAccesses: c.Window}
+}
+
+func (CODA) SelectCandidates(k *isa.Kernel, p compiler.CostParams) (*compiler.Metadata, error) {
+	return compiler.Analyze(k, p)
+}
+
+func (CODA) PreGate(env Env, req *Request) string { return condPreGate(req) }
+func (CODA) Dest(env Env, req *Request) string    { return destFirstLine(env, req) }
+
+func (CODA) Gate(env Env, req *Request) string {
+	if len(req.Lines) > 1 && mapping.Colocation(envMapPolicy{env}, req.Lines) < 1 {
+		return ReasonSplit
+	}
+	return tomGate(env, req)
+}
+
+// envMapPolicy adapts the simulator's live line→stack mapping (baseline
+// XOR or the learned consecutive-bit mapping, per range) to the
+// mapping.Policy interface mapping.Colocation expects.
+type envMapPolicy struct{ env Env }
+
+func (p envMapPolicy) Stack(addr uint64) int { return p.env.StackOf(addr) }
+func (p envMapPolicy) Name() string          { return "live" }

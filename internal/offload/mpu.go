@@ -1,0 +1,75 @@
+package offload
+
+import (
+	"strconv"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+)
+
+func init() {
+	Register("mpu", func() Policy { return MPU{SpawnLat: mpuSpawnLat} })
+}
+
+// mpuSpawnLat is the near-bank spawn cost in cycles: the offload unit sits
+// in the vault's logic, so dispatch skips most of TOM's 10-cycle offload
+// pipeline (request packing, metadata lookup, TX arbitration).
+const mpuSpawnLat = 2
+
+// MPU models near-bank offload (PAPERS.md: MPU's near-bank SIMT computing):
+// compute units live next to the DRAM banks, so offload is fine-grained —
+// single load/store-centred straight-line snippets instead of whole loops —
+// and the destination resolves down to the vault. The spawn is cheap
+// (SpawnLat) but execution slots are per-vault: each vault's near-bank unit
+// holds only its share of the stack's warp capacity, so a vault with its
+// slots full gates further offloads to it (reason "vaultfull") while other
+// vaults keep accepting.
+type MPU struct {
+	// SpawnLat is the near-bank dispatch latency (cycles).
+	SpawnLat int64
+}
+
+func (m MPU) Name() string { return "mpu" }
+
+func (m MPU) Params() string { return "spawnlat=" + strconv.FormatInt(m.SpawnLat, 10) }
+
+func (m MPU) Traits() Traits {
+	return Traits{ObserveTrips: true, DryRunAccesses: 1, SpawnLat: m.SpawnLat}
+}
+
+// SelectCandidates enumerates at near-bank granularity: loops are not
+// offloaded as units (their iterations stream through the banks one body at
+// a time), straight-line blocks are cut after every global memory
+// instruction, and every legal snippet is admitted — the per-vault slot
+// limit, not the bandwidth cost model, is the selectivity.
+func (MPU) SelectCandidates(k *isa.Kernel, p compiler.CostParams) (*compiler.Metadata, error) {
+	return compiler.AnalyzeWith(k, compiler.SelectOptions{
+		Cost:         p,
+		SkipLoops:    true,
+		MaxBlockMems: 1,
+		Accept:       compiler.AcceptAll,
+	})
+}
+
+func (MPU) PreGate(env Env, req *Request) string { return condPreGate(req) }
+
+func (MPU) Dest(env Env, req *Request) string {
+	if r := destFirstLine(env, req); r != "" {
+		return r
+	}
+	req.Vault = env.VaultOf(req.Lines[0])
+	return ""
+}
+
+// Gate enforces the per-vault slot limit: the stack's warp capacity divided
+// evenly over its vaults, minimum one slot per vault.
+func (MPU) Gate(env Env, req *Request) string {
+	cap := env.StackCap() / env.Vaults()
+	if cap < 1 {
+		cap = 1
+	}
+	if env.PendingVault(req.Stack, req.Vault) >= cap {
+		return ReasonVaultFull
+	}
+	return ""
+}

@@ -1,0 +1,225 @@
+// Package offload defines the pluggable offload-policy layer: the decision
+// logic the paper hardwires — compiler candidate selection (§3.1), the
+// runtime gating pipeline (§3.3/§4.2), and destination choice (§4.2
+// footnote 4) — factored behind one interface so rival schemes (CODA's
+// co-location-aware offloading, near-bank MPU offload) can be A/B-tested
+// against TOM over the same workload matrix.
+//
+// The simulator drives a policy through three hooks per candidate entry,
+// in order:
+//
+//  1. PreGate — before the destination dry run (TOM's conditional-trip
+//     threshold lives here; no destination is known yet).
+//  2. Dest — pick the destination stack (and optionally vault) from the
+//     dry-run access trace.
+//  3. Gate — aggressiveness control with the destination known (channel
+//     busy, pending caps, co-location, per-vault slots).
+//
+// Each hook returns a gate reason ("" = proceed); every non-empty reason is
+// accounted in sim.Stats, the per-PC gate profile, and the observer, so the
+// conservation invariant CandidateInstances == Sent + Skipped + LearnEntries
+// holds for every policy.
+package offload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/compiler"
+	"repro/internal/isa"
+)
+
+// Gate reasons. The first five are TOM's original skip reasons; the last
+// three were added with the policy layer (destbound distinguishes a
+// dry-run step-bound bail-out from a genuine no-destination, split and
+// vaultfull belong to the CODA and MPU policies).
+const (
+	ReasonBusy      = "busy"
+	ReasonFull      = "full"
+	ReasonCond      = "cond"
+	ReasonALU       = "alu"
+	ReasonNoDest    = "nodest"
+	ReasonDestBound = "destbound"
+	ReasonSplit     = "split"
+	ReasonVaultFull = "vaultfull"
+)
+
+// Traits are the static execution-model properties of a policy — the knobs
+// the simulator reads outside the per-entry hook sequence.
+type Traits struct {
+	// ObserveTrips: run TOM's conditional trip-count observation (§4.2
+	// step 1) at every candidate entry, feeding the per-PC profile.
+	ObserveTrips bool
+	// DryRunAccesses bounds how many global-memory line addresses the
+	// destination dry run collects (1 = stop at the first access, TOM's
+	// footnote-4 behavior; larger windows let a policy inspect the
+	// instance's spatial footprint).
+	DryRunAccesses int
+	// ZeroCost models free offload transport (the Fig. 2 idealization):
+	// requests spawn directly with no pipeline/link traversal, acks return
+	// in one cycle, stack warp slots oversubscribe, and no coherence
+	// invalidation cost is charged on return.
+	ZeroCost bool
+	// ForceColocate steers every stack-SM memory access to its own stack
+	// (perfect co-location, again the Fig. 2 idealization).
+	ForceColocate bool
+	// SpawnLat overrides Config.OffloadPipeLat when > 0 (cycles from the
+	// launch decision to the request entering the TX path). Near-bank
+	// offload models a cheaper spawn.
+	SpawnLat int64
+}
+
+// Request is one candidate-entry decision in flight, filled incrementally
+// by the simulator and the policy hooks.
+type Request struct {
+	Cand *compiler.Candidate
+	// HasLeader: the warp has at least one active lane.
+	HasLeader bool
+	// Trips is the observed leader-lane trip count for conditional-hinted
+	// candidates, -1 when unknown/unobserved.
+	Trips int
+	// Lines holds the dry run's collected global-memory line addresses
+	// (deduplicated, first access first); empty when the dry run found no
+	// access.
+	Lines []uint64
+	// Bounded: the dry run hit its step bound while still inside the
+	// region — the access trace is truncated, not absent.
+	Bounded bool
+	// Stack/Vault are the chosen destination (-1 until Dest succeeds;
+	// Vault stays -1 for stack-granular policies).
+	Stack, Vault int
+}
+
+// Env is the simulator state a policy may consult, bound to the deciding
+// cycle. Implemented by internal/sim.
+type Env interface {
+	Stacks() int
+	Vaults() int // vaults per stack
+	// StackOf / VaultOf map a line address under the active data mapping.
+	StackOf(line uint64) int
+	VaultOf(line uint64) int
+	// Pending counts offloads in flight to a stack; PendingVault the
+	// subset bound to one vault. StackCap is the stack-SM warp capacity
+	// (the paper's pending-offload limit).
+	Pending(stack int) int
+	PendingVault(stack, vault int) int
+	StackCap() int
+	// TXBusy/RXBusy are the channel-busy tags (§3.3) at the deciding cycle.
+	TXBusy(stack int) bool
+	RXBusy(stack int) bool
+	// ALUGate returns Config.ALUGate (0 = disabled).
+	ALUGate() float64
+	// Controlled reports whether dynamic aggressiveness control is on
+	// (OffloadControlled); TOM's Gate is a no-op without it.
+	Controlled() bool
+}
+
+// Policy is one point in the offload design space.
+type Policy interface {
+	// Name is the registry key, folded into run-spec digests.
+	Name() string
+	// Params renders the policy's parameters for digesting ("" if none).
+	Params() string
+	Traits() Traits
+	// SelectCandidates builds the kernel's offload metadata table.
+	SelectCandidates(k *isa.Kernel, p compiler.CostParams) (*compiler.Metadata, error)
+	// PreGate may veto before the destination dry run. Returns a gate
+	// reason or "".
+	PreGate(env Env, req *Request) string
+	// Dest chooses req.Stack (and optionally req.Vault) from the dry-run
+	// trace. Returns a gate reason or "".
+	Dest(env Env, req *Request) string
+	// Gate is the aggressiveness control with the destination known.
+	// Returns a gate reason or "".
+	Gate(env Env, req *Request) string
+}
+
+// --- Registry ---
+
+var registry = map[string]func() Policy{}
+
+// Register installs a policy constructor under its name. Called from
+// init(); duplicate names panic.
+func Register(name string, mk func() Policy) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("offload: duplicate policy %q", name))
+	}
+	registry[name] = mk
+}
+
+// ByName returns a fresh instance of the named policy.
+func ByName(name string) (Policy, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("offload: unknown policy %q (have %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names lists the registered policy names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- Shared hook helpers ---
+
+// condPreGate is TOM's conditional-offload threshold (§4.2 step 1): a
+// conditional-hinted candidate offloads only when the leader lane's trip
+// count reaches the compiler's break-even hint. A warp with no active lane
+// cannot derive a destination either, so it counts as nodest.
+func condPreGate(req *Request) string {
+	if !req.Cand.Conditional() {
+		return ""
+	}
+	if !req.HasLeader {
+		return ReasonNoDest
+	}
+	if req.Trips < req.Cand.Trip.Cond.MinTrips {
+		return ReasonCond
+	}
+	return ""
+}
+
+// destFirstLine picks the stack of the instance's first global-memory
+// access (§4.2 footnote 4). An empty trace that hit the dry-run step bound
+// is reported as destbound — the region is diagnosably too long to scan —
+// rather than folded into nodest.
+func destFirstLine(env Env, req *Request) string {
+	if len(req.Lines) == 0 {
+		if req.Bounded {
+			return ReasonDestBound
+		}
+		return ReasonNoDest
+	}
+	req.Stack = env.StackOf(req.Lines[0])
+	return ""
+}
+
+// tomGate is TOM's dynamic aggressiveness control (§3.3): the ALU-ratio
+// extension gate, the per-channel busy tags consulted against the 2-bit
+// savings tag, and the pending-offload cap. All of it applies only under
+// OffloadControlled.
+func tomGate(env Env, req *Request) string {
+	if !env.Controlled() {
+		return ""
+	}
+	c, dest := req.Cand, req.Stack
+	if g := env.ALUGate(); g > 0 && c.ALUFrac > g && env.Pending(dest) > env.StackCap()/2 {
+		return ReasonALU
+	}
+	if !c.SavesTX && env.TXBusy(dest) {
+		return ReasonBusy
+	}
+	if !c.SavesRX && env.RXBusy(dest) {
+		return ReasonBusy
+	}
+	if env.Pending(dest) >= env.StackCap() {
+		return ReasonFull
+	}
+	return ""
+}

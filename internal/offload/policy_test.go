@@ -1,0 +1,312 @@
+package offload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+// fakeEnv is a settable offload.Env for exercising the policy hooks without
+// a simulator. StackOf maps by a coarse address shift so tests can place
+// lines on chosen stacks.
+type fakeEnv struct {
+	stacks, vaults int
+	cap            int
+	stackShift     uint
+	pending        map[int]int
+	pendingVault   map[[2]int]int
+	txBusy, rxBusy map[int]bool
+	aluGate        float64
+	controlled     bool
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{
+		stacks: 4, vaults: 8, cap: 16, stackShift: 12,
+		pending:      map[int]int{},
+		pendingVault: map[[2]int]int{},
+		txBusy:       map[int]bool{},
+		rxBusy:       map[int]bool{},
+	}
+}
+
+func (e *fakeEnv) Stacks() int               { return e.stacks }
+func (e *fakeEnv) Vaults() int               { return e.vaults }
+func (e *fakeEnv) StackOf(line uint64) int   { return int(line>>e.stackShift) % e.stacks }
+func (e *fakeEnv) VaultOf(line uint64) int   { return int(line>>7) % e.vaults }
+func (e *fakeEnv) Pending(s int) int         { return e.pending[s] }
+func (e *fakeEnv) PendingVault(s, v int) int { return e.pendingVault[[2]int{s, v}] }
+func (e *fakeEnv) StackCap() int             { return e.cap }
+func (e *fakeEnv) TXBusy(s int) bool         { return e.txBusy[s] }
+func (e *fakeEnv) RXBusy(s int) bool         { return e.rxBusy[s] }
+func (e *fakeEnv) ALUGate() float64          { return e.aluGate }
+func (e *fakeEnv) Controlled() bool          { return e.controlled }
+
+func mustPolicy(t *testing.T, name string) Policy {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func condCand(minTrips int) *compiler.Candidate {
+	return &compiler.Candidate{
+		IsLoop: true,
+		Trip:   compiler.TripInfo{Cond: &compiler.Condition{MinTrips: minTrips}},
+	}
+}
+
+func TestRegistryHasAllPolicies(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"coda", "ideal", "mpu", "tom"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("policy %q not registered (have %v)", want, names)
+		}
+	}
+	for _, n := range names {
+		p := mustPolicy(t, n)
+		if p.Name() != n {
+			t.Errorf("ByName(%q).Name() = %q", n, p.Name())
+		}
+		if p.Traits().DryRunAccesses < 1 {
+			t.Errorf("policy %q has DryRunAccesses %d < 1", n, p.Traits().DryRunAccesses)
+		}
+	}
+}
+
+func TestByNameUnknownListsChoices(t *testing.T) {
+	_, err := ByName("bogus")
+	if err == nil {
+		t.Fatal("unknown policy must error")
+	}
+	if !strings.Contains(err.Error(), "tom") {
+		t.Errorf("error should list registered names, got %q", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register must panic")
+		}
+	}()
+	Register("tom", func() Policy { return TOM{} })
+}
+
+func TestPolicyTraits(t *testing.T) {
+	cases := []struct {
+		name string
+		want Traits
+	}{
+		{"tom", Traits{ObserveTrips: true, DryRunAccesses: 1}},
+		{"ideal", Traits{DryRunAccesses: 1, ZeroCost: true, ForceColocate: true}},
+		{"coda", Traits{ObserveTrips: true, DryRunAccesses: codaDefaultWindow}},
+		{"mpu", Traits{ObserveTrips: true, DryRunAccesses: 1, SpawnLat: mpuSpawnLat}},
+	}
+	for _, c := range cases {
+		if got := mustPolicy(t, c.name).Traits(); got != c.want {
+			t.Errorf("%s traits = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestPolicyParams(t *testing.T) {
+	for name, want := range map[string]string{
+		"tom": "", "ideal": "", "coda": "window=8", "mpu": "spawnlat=2",
+	} {
+		if got := mustPolicy(t, name).Params(); got != want {
+			t.Errorf("%s params = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestCondPreGate(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"non-conditional passes",
+			Request{Cand: &compiler.Candidate{}, HasLeader: true, Trips: -1}, ""},
+		{"no leader is nodest",
+			Request{Cand: condCand(4), HasLeader: false, Trips: -1}, ReasonNoDest},
+		{"below threshold is cond",
+			Request{Cand: condCand(4), HasLeader: true, Trips: 3}, ReasonCond},
+		{"at threshold passes",
+			Request{Cand: condCand(4), HasLeader: true, Trips: 4}, ""},
+	}
+	for _, c := range cases {
+		if got := condPreGate(&c.req); got != c.want {
+			t.Errorf("%s: condPreGate = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDestFirstLine(t *testing.T) {
+	env := newFakeEnv()
+	cases := []struct {
+		name      string
+		lines     []uint64
+		bounded   bool
+		want      string
+		wantStack int
+	}{
+		{"no access is nodest", nil, false, ReasonNoDest, -1},
+		{"truncated trace is destbound", nil, true, ReasonDestBound, -1},
+		{"first line picks the stack", []uint64{2 << 12, 3 << 12}, false, "", 2},
+		{"bounded with lines still resolves", []uint64{1 << 12}, true, "", 1},
+	}
+	for _, c := range cases {
+		req := Request{Lines: c.lines, Bounded: c.bounded, Stack: -1}
+		if got := destFirstLine(env, &req); got != c.want {
+			t.Errorf("%s: destFirstLine = %q, want %q", c.name, got, c.want)
+		}
+		if req.Stack != c.wantStack {
+			t.Errorf("%s: req.Stack = %d, want %d", c.name, req.Stack, c.wantStack)
+		}
+	}
+}
+
+func TestTomGate(t *testing.T) {
+	mk := func(mut func(*fakeEnv, *Request)) (Env, *Request) {
+		env := newFakeEnv()
+		env.controlled = true
+		req := &Request{Cand: &compiler.Candidate{SavesTX: true, SavesRX: true}, Stack: 1}
+		if mut != nil {
+			mut(env, req)
+		}
+		return env, req
+	}
+	cases := []struct {
+		name string
+		mut  func(*fakeEnv, *Request)
+		want string
+	}{
+		{"uncontrolled never gates", func(e *fakeEnv, r *Request) {
+			e.controlled = false
+			e.pending[1] = e.cap // would be full otherwise
+		}, ""},
+		{"clean pass", nil, ""},
+		{"alu gate over half-full", func(e *fakeEnv, r *Request) {
+			e.aluGate = 0.5
+			r.Cand.ALUFrac = 0.9
+			e.pending[1] = e.cap/2 + 1
+		}, ReasonALU},
+		{"alu frac high but stack idle passes", func(e *fakeEnv, r *Request) {
+			e.aluGate = 0.5
+			r.Cand.ALUFrac = 0.9
+		}, ""},
+		{"tx busy without tx savings", func(e *fakeEnv, r *Request) {
+			r.Cand.SavesTX = false
+			e.txBusy[1] = true
+		}, ReasonBusy},
+		{"tx busy with tx savings passes", func(e *fakeEnv, r *Request) {
+			e.txBusy[1] = true
+		}, ""},
+		{"rx busy without rx savings", func(e *fakeEnv, r *Request) {
+			r.Cand.SavesRX = false
+			e.rxBusy[1] = true
+		}, ReasonBusy},
+		{"pending at capacity", func(e *fakeEnv, r *Request) {
+			e.pending[1] = e.cap
+		}, ReasonFull},
+	}
+	for _, c := range cases {
+		env, req := mk(c.mut)
+		if got := tomGate(env, req); got != c.want {
+			t.Errorf("%s: tomGate = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCodaSplitGate: coda keeps an instance on the GPU when its dry-run
+// footprint spans more than one stack, and defers to TOM's control
+// otherwise.
+func TestCodaSplitGate(t *testing.T) {
+	p := mustPolicy(t, "coda")
+	env := newFakeEnv()
+	env.controlled = true
+	cand := &compiler.Candidate{SavesTX: true, SavesRX: true}
+
+	split := &Request{Cand: cand, Stack: 0, Lines: []uint64{0 << 12, 1 << 12}}
+	if got := p.Gate(env, split); got != ReasonSplit {
+		t.Errorf("cross-stack footprint: Gate = %q, want %q", got, ReasonSplit)
+	}
+	co := &Request{Cand: cand, Stack: 2,
+		Lines: []uint64{2 << 12, 2<<12 + 128, 2<<12 + 256}}
+	if got := p.Gate(env, co); got != "" {
+		t.Errorf("co-located footprint: Gate = %q, want pass", got)
+	}
+	single := &Request{Cand: cand, Stack: 3, Lines: []uint64{3 << 12}}
+	if got := p.Gate(env, single); got != "" {
+		t.Errorf("single-line footprint: Gate = %q, want pass", got)
+	}
+	// The TOM aggressiveness control still applies behind the split check.
+	env.pending[2] = env.cap
+	if got := p.Gate(env, co); got != ReasonFull {
+		t.Errorf("co-located but full: Gate = %q, want %q", got, ReasonFull)
+	}
+}
+
+// TestMPUDestAndVaultGate: mpu resolves a vault-granular destination and
+// enforces its per-vault slot share.
+func TestMPUDestAndVaultGate(t *testing.T) {
+	p := mustPolicy(t, "mpu")
+	env := newFakeEnv()
+	line := uint64(2<<12 | 3<<7) // stack 2, vault 3
+
+	req := &Request{Cand: &compiler.Candidate{}, Stack: -1, Vault: -1, Lines: []uint64{line}}
+	if got := p.Dest(env, req); got != "" {
+		t.Fatalf("Dest = %q, want pass", got)
+	}
+	if req.Stack != 2 || req.Vault != 3 {
+		t.Fatalf("Dest picked stack %d vault %d, want 2/3", req.Stack, req.Vault)
+	}
+	if got := p.Gate(env, req); got != "" {
+		t.Errorf("empty vault: Gate = %q, want pass", got)
+	}
+
+	// cap 16 over 8 vaults = 2 slots per vault.
+	env.pendingVault[[2]int{2, 3}] = 2
+	if got := p.Gate(env, req); got != ReasonVaultFull {
+		t.Errorf("vault at share: Gate = %q, want %q", got, ReasonVaultFull)
+	}
+	// Another vault on the same stack is unaffected.
+	other := &Request{Cand: req.Cand, Stack: 2, Vault: 4, Lines: req.Lines}
+	if got := p.Gate(env, other); got != "" {
+		t.Errorf("sibling vault: Gate = %q, want pass", got)
+	}
+
+	// The per-vault share clamps to at least one slot.
+	env.cap = 4 // 4/8 = 0 -> clamp to 1
+	env.pendingVault[[2]int{2, 4}] = 1
+	if got := p.Gate(env, other); got != ReasonVaultFull {
+		t.Errorf("clamped share: Gate = %q, want %q", got, ReasonVaultFull)
+	}
+}
+
+// TestIdealGate: the ideal policy ignores channel state and only respects
+// the hard pending cap.
+func TestIdealGate(t *testing.T) {
+	p := mustPolicy(t, "ideal")
+	env := newFakeEnv()
+	env.controlled = true
+	env.txBusy[1], env.rxBusy[1] = true, true
+	req := &Request{Cand: &compiler.Candidate{}, Stack: 1}
+	if got := p.Gate(env, req); got != "" {
+		t.Errorf("busy channels: ideal Gate = %q, want pass", got)
+	}
+	env.pending[1] = env.cap
+	if got := p.Gate(env, req); got != ReasonFull {
+		t.Errorf("at capacity: ideal Gate = %q, want %q", got, ReasonFull)
+	}
+}

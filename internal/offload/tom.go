@@ -1,0 +1,58 @@
+package offload
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/isa"
+)
+
+func init() {
+	Register("tom", func() Policy { return TOM{} })
+	Register("ideal", func() Policy { return Ideal{} })
+}
+
+// TOM is the paper's scheme, bit-for-bit: conservative cost-model candidate
+// selection (equations (3)/(4)), conditional-trip thresholds, first-access
+// destination, and the §3.3 dynamic aggressiveness control.
+type TOM struct{}
+
+func (TOM) Name() string   { return "tom" }
+func (TOM) Params() string { return "" }
+
+func (TOM) Traits() Traits {
+	return Traits{ObserveTrips: true, DryRunAccesses: 1}
+}
+
+func (TOM) SelectCandidates(k *isa.Kernel, p compiler.CostParams) (*compiler.Metadata, error) {
+	return compiler.Analyze(k, p)
+}
+
+func (TOM) PreGate(env Env, req *Request) string { return condPreGate(req) }
+func (TOM) Dest(env Env, req *Request) string    { return destFirstLine(env, req) }
+func (TOM) Gate(env Env, req *Request) string    { return tomGate(env, req) }
+
+// Ideal is the Fig. 2 idealization: TOM's candidate table with zero-cost
+// transport and perfect co-location. Stack warp capacity still applies —
+// the idealization removes offload overheads, not the logic layer's
+// execution resources — and no trip threshold or channel gating runs.
+type Ideal struct{}
+
+func (Ideal) Name() string   { return "ideal" }
+func (Ideal) Params() string { return "" }
+
+func (Ideal) Traits() Traits {
+	return Traits{DryRunAccesses: 1, ZeroCost: true, ForceColocate: true}
+}
+
+func (Ideal) SelectCandidates(k *isa.Kernel, p compiler.CostParams) (*compiler.Metadata, error) {
+	return compiler.Analyze(k, p)
+}
+
+func (Ideal) PreGate(env Env, req *Request) string { return "" }
+func (Ideal) Dest(env Env, req *Request) string    { return destFirstLine(env, req) }
+
+func (Ideal) Gate(env Env, req *Request) string {
+	if env.Pending(req.Stack) >= env.StackCap() {
+		return ReasonFull
+	}
+	return ""
+}

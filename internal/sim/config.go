@@ -102,6 +102,11 @@ type Config struct {
 	Offload       OffloadMode
 	BusyThreshold float64
 	Coherence     bool // §4.4.2 protocol on (off = idealized coherence)
+	// Policy names the offload policy (internal/offload registry) driving
+	// candidate selection, gating, and destination choice. Empty resolves
+	// from Offload for compatibility: "ideal" under OffloadIdeal, "tom"
+	// otherwise (see PolicyName). Unknown names panic in New.
+	Policy string
 	// ALUGate, when positive, extends dynamic aggressiveness control
 	// with the paper's §6.4 future-work idea: candidates whose static
 	// ALU-instruction fraction exceeds the gate are not offloaded while
@@ -188,3 +193,16 @@ func BaselineConfig() Config {
 
 // StackWarps returns the warp capacity of one stack SM.
 func (c Config) StackWarps() int { return c.WarpsPerSM * c.StackWarpMult }
+
+// PolicyName resolves the effective offload-policy name: an explicit
+// Config.Policy wins; otherwise the legacy OffloadMode determines it
+// (OffloadIdeal was the ideal policy before the policy layer existed).
+func (c Config) PolicyName() string {
+	if c.Policy != "" {
+		return c.Policy
+	}
+	if c.Offload == OffloadIdeal {
+		return "ideal"
+	}
+	return "tom"
+}

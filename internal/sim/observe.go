@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/obs"
+	"repro/internal/offload"
 )
 
 // obsState is the simulator's binding to an attached obs.Observer. Every
@@ -38,7 +39,8 @@ type obsState struct {
 	// Offload lifecycle counters (mirror the sim.Stats fields exactly).
 	candidates, sent, acks                 *obs.Counter
 	skipBusy, skipFull, skipCond, skipALU  *obs.Counter
-	skipNoDest                             *obs.Counter
+	skipNoDest, skipDestBound              *obs.Counter
+	skipSplit, skipVaultFull               *obs.Counter
 	invalidates, drainStalls, spawnCounter *obs.Counter
 }
 
@@ -61,17 +63,20 @@ func newObsState(cfg *Config) *obsState {
 		l2bankQ: reg.Series("l2.bank_queue_occupancy", every),
 		learnQ:  reg.Series("learn.instances_seen", every),
 
-		candidates:   reg.Counter("offload.candidates"),
-		sent:         reg.Counter("offload.sent"),
-		acks:         reg.Counter("offload.acks"),
-		skipBusy:     reg.Counter("offload.skipped_busy"),
-		skipFull:     reg.Counter("offload.skipped_full"),
-		skipCond:     reg.Counter("offload.skipped_cond"),
-		skipALU:      reg.Counter("offload.skipped_alu"),
-		skipNoDest:   reg.Counter("offload.skipped_nodest"),
-		invalidates:  reg.Counter("coherence.invalidates"),
-		drainStalls:  reg.Counter("offload.drain_stalls"),
-		spawnCounter: reg.Counter("offload.spawns"),
+		candidates:    reg.Counter("offload.candidates"),
+		sent:          reg.Counter("offload.sent"),
+		acks:          reg.Counter("offload.acks"),
+		skipBusy:      reg.Counter("offload.skipped_busy"),
+		skipFull:      reg.Counter("offload.skipped_full"),
+		skipCond:      reg.Counter("offload.skipped_cond"),
+		skipALU:       reg.Counter("offload.skipped_alu"),
+		skipNoDest:    reg.Counter("offload.skipped_nodest"),
+		skipDestBound: reg.Counter("offload.skipped_destbound"),
+		skipSplit:     reg.Counter("offload.skipped_split"),
+		skipVaultFull: reg.Counter("offload.skipped_vaultfull"),
+		invalidates:   reg.Counter("coherence.invalidates"),
+		drainStalls:   reg.Counter("offload.drain_stalls"),
+		spawnCounter:  reg.Counter("offload.spawns"),
 	}
 	for s := 0; s < cfg.Stacks; s++ {
 		id := strconv.Itoa(s)
@@ -147,16 +152,22 @@ func (sys *System) obGate(now int64, sm *SM, cand *compiler.Candidate, dest int,
 		return
 	}
 	switch reason {
-	case "busy":
+	case offload.ReasonBusy:
 		ob.skipBusy.Inc()
-	case "full":
+	case offload.ReasonFull:
 		ob.skipFull.Inc()
-	case "cond":
+	case offload.ReasonCond:
 		ob.skipCond.Inc()
-	case "alu":
+	case offload.ReasonALU:
 		ob.skipALU.Inc()
-	case "nodest":
+	case offload.ReasonNoDest:
 		ob.skipNoDest.Inc()
+	case offload.ReasonDestBound:
+		ob.skipDestBound.Inc()
+	case offload.ReasonSplit:
+		ob.skipSplit.Inc()
+	case offload.ReasonVaultFull:
+		ob.skipVaultFull.Inc()
 	}
 	if dest < 0 {
 		dest = -1

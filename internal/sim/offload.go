@@ -4,7 +4,9 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/exec"
 	"repro/internal/isa"
+	"repro/internal/mapping"
 	"repro/internal/obs"
+	"repro/internal/offload"
 )
 
 // offloadJob carries one offloaded candidate instance: the request the
@@ -15,6 +17,7 @@ type offloadJob struct {
 	srcSM   *SM
 	srcWarp *smWarp
 	dest    int
+	vault   int // destination vault for vault-granular policies, else -1
 	mask    uint32
 	winfo   exec.WarpInfo
 	liveIn  [][isa.WarpSize]uint64
@@ -22,30 +25,56 @@ type offloadJob struct {
 	dirty   map[uint64]struct{}
 }
 
+// polEnv binds the simulator's state at one deciding cycle to the
+// offload.Env interface the policy hooks consume.
+type polEnv struct {
+	sys *System
+	now int64
+}
+
+func (e polEnv) Stacks() int               { return e.sys.cfg.Stacks }
+func (e polEnv) Vaults() int               { return e.sys.cfg.VaultsPerStack }
+func (e polEnv) StackOf(line uint64) int   { return e.sys.stackOf(line) }
+func (e polEnv) VaultOf(line uint64) int   { return mapping.VaultOf(line, e.sys.cfg.VaultsPerStack) }
+func (e polEnv) Pending(s int) int         { return e.sys.pendingOffloads[s] }
+func (e polEnv) PendingVault(s, v int) int { return e.sys.pendingVault[s][v] }
+func (e polEnv) StackCap() int             { return e.sys.cfg.StackSMs * e.sys.cfg.StackWarps() }
+func (e polEnv) TXBusy(s int) bool         { return e.sys.txLinks[s].Busy(e.sys.cfg.BusyThreshold, e.now) }
+func (e polEnv) RXBusy(s int) bool         { return e.sys.rxLinks[s].Busy(e.sys.cfg.BusyThreshold, e.now) }
+func (e polEnv) ALUGate() float64          { return e.sys.cfg.ALUGate }
+func (e polEnv) Controlled() bool          { return e.sys.cfg.Offload == OffloadControlled }
+
 // gate records one suppressed offload everywhere it is accounted: the
 // aggregate per-reason counter, the per-PC decision table, and (when an
 // observer is attached) the metrics counter plus a gate trace event. Every
 // gate site goes through here so the accounting stays exhaustive.
 func (sys *System) gate(now int64, sm *SM, cand *compiler.Candidate, dest int, reason string) {
 	switch reason {
-	case "busy":
+	case offload.ReasonBusy:
 		sys.stats.OffloadsSkippedBusy++
-	case "full":
+	case offload.ReasonFull:
 		sys.stats.OffloadsSkippedFull++
-	case "cond":
+	case offload.ReasonCond:
 		sys.stats.OffloadsSkippedCond++
-	case "alu":
+	case offload.ReasonALU:
 		sys.stats.OffloadsSkippedALU++
-	case "nodest":
+	case offload.ReasonNoDest:
 		sys.stats.OffloadsSkippedNoDest++
+	case offload.ReasonDestBound:
+		sys.stats.OffloadsSkippedDestBound++
+	case offload.ReasonSplit:
+		sys.stats.OffloadsSkippedSplit++
+	case offload.ReasonVaultFull:
+		sys.stats.OffloadsSkippedVaultFull++
 	}
 	sys.stats.PCStats.At(cand.StartPC).CountSkip(reason)
 	sys.obGate(now, sm, cand, dest, reason)
 }
 
 // handleCandidateEntry runs when a main-SM warp reaches a candidate's start
-// PC. It returns true when the warp was captured (offload in progress); on
-// false the warp executes the region inline.
+// PC: the policy hook sequence (PreGate → dry run → Dest → Gate) decides
+// whether the instance offloads. It returns true when the warp was captured
+// (offload in progress); on false the warp executes the region inline.
 func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candidate, now int64) bool {
 	sys.stats.CandidateInstances++
 	if ob := sys.ob; ob != nil {
@@ -58,83 +87,83 @@ func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candi
 		sw.collect = &collectState{cand: cand}
 		return false
 	}
-	switch sys.cfg.Offload {
-	case OffloadOff:
+	if sys.cfg.Offload == OffloadOff {
 		return false
-	case OffloadIdeal:
-		return sys.offloadIdeal(sm, sw, cand, now)
+	}
+
+	env := polEnv{sys: sys, now: now}
+	req := offload.Request{
+		Cand: cand, Trips: -1, Stack: -1, Vault: -1,
+		HasLeader: sw.w.LeaderLane() >= 0,
 	}
 
 	// Observe the leader lane's trip count for every conditional-hinted
 	// candidate (§4.2 step 1); the per-PC record feeds compiler.Refine's
 	// re-tagging even when the hint is below the offload threshold.
-	trips := -1
-	if cond := cand.Trip.Cond; cond != nil && !cand.Trip.Known {
-		if lane := sw.w.LeaderLane(); lane >= 0 {
-			ind := int64(sw.w.Regs[cond.IndReg][lane])
-			var bound int64
-			if cond.BoundIsReg {
-				bound = int64(sw.w.Regs[cond.BoundReg][lane])
-			}
-			trips = cond.Trips(ind, bound)
-			g := sys.stats.PCStats.At(cand.StartPC)
-			g.TripObs++
-			if trips > 0 {
-				g.TripSum += uint64(trips)
+	if sys.ptraits.ObserveTrips {
+		if cond := cand.Trip.Cond; cond != nil && !cand.Trip.Known {
+			if lane := sw.w.LeaderLane(); lane >= 0 {
+				ind := int64(sw.w.Regs[cond.IndReg][lane])
+				var bound int64
+				if cond.BoundIsReg {
+					bound = int64(sw.w.Regs[cond.BoundReg][lane])
+				}
+				req.Trips = cond.Trips(ind, bound)
+				g := sys.stats.PCStats.At(cand.StartPC)
+				g.TripObs++
+				if req.Trips > 0 {
+					g.TripSum += uint64(req.Trips)
+				}
 			}
 		}
 	}
 
-	// Conditional candidates: evaluate the compiler's hint against the
-	// leader lane's registers (§4.2 dynamic decision step 1). No leader
-	// lane means no destination could be derived either: count as nodest.
-	if cand.Conditional() {
-		if sw.w.LeaderLane() < 0 {
-			sys.gate(now, sm, cand, -1, "nodest")
-			return false
-		}
-		if trips < cand.Trip.Cond.MinTrips {
-			sys.gate(now, sm, cand, -1, "cond")
-			return false
-		}
-	}
-
-	dest := sys.destStack(sw, cand)
-	if dest < 0 {
-		sys.gate(now, sm, cand, -1, "nodest")
+	if r := sys.policy.PreGate(env, &req); r != "" {
+		sys.gate(now, sm, cand, -1, r)
 		return false
 	}
 
-	if sys.cfg.Offload == OffloadControlled {
-		// Extension (§6.4 future work): ALU-ratio-aware gating.
-		if g := sys.cfg.ALUGate; g > 0 && cand.ALUFrac > g &&
-			sys.pendingOffloads[dest] > sys.cfg.StackSMs*sys.cfg.StackWarps()/2 {
-			sys.gate(now, sm, cand, dest, "alu")
-			return false
+	req.Lines, req.Bounded = sys.dryRun(sw, cand, sys.ptraits.DryRunAccesses)
+	if r := sys.policy.Dest(env, &req); r != "" {
+		sys.gate(now, sm, cand, -1, r)
+		return false
+	}
+	dest := req.Stack
+
+	if r := sys.policy.Gate(env, &req); r != "" {
+		sys.gate(now, sm, cand, dest, r)
+		return false
+	}
+
+	if sys.ptraits.ZeroCost {
+		// Zero-cost transport: the job materializes in the destination
+		// stack's spawn queue this cycle, skipping the offload pipeline,
+		// the TX link, and the store drain.
+		sm.unready(sw, wsWaitOffload)
+		job := sys.buildJob(sm, sw, cand, dest, req.Vault)
+		sys.pendingOffloads[dest]++
+		sys.stats.OffloadsSent++
+		sys.stats.PCStats.At(cand.StartPC).Sent++
+		if ob := sys.ob; ob != nil {
+			ob.sent.Inc()
+			ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvSend, SM: sm.id, Stack: dest,
+				PC: cand.StartPC})
 		}
-		// Step 2: channel-busy gating via the 2-bit tag (§3.3).
-		th := sys.cfg.BusyThreshold
-		if !cand.SavesTX && sys.txLinks[dest].Busy(th, now) {
-			sys.gate(now, sm, cand, dest, "busy")
-			return false
-		}
-		if !cand.SavesRX && sys.rxLinks[dest].Busy(th, now) {
-			sys.gate(now, sm, cand, dest, "busy")
-			return false
-		}
-		// Step 3: pending-offload limit = stack SM warp capacity.
-		if sys.pendingOffloads[dest] >= sys.cfg.StackSMs*sys.cfg.StackWarps() {
-			sys.gate(now, sm, cand, dest, "full")
-			return false
-		}
+		sm2 := sys.stacks[dest].spawnTarget()
+		sm2.spawnQ = append(sm2.spawnQ, job)
+		return true
 	}
 
 	sys.pendingOffloads[dest]++
+	if req.Vault >= 0 {
+		sys.pendingVault[dest][req.Vault]++
+	}
 	if sys.cfg.Coherence && sw.pendingStores > 0 {
 		// §4.4.2 step 1: push all memory update traffic to memory
 		// before issuing the offload request.
 		sw.drainCand = cand
 		sw.drainDest = dest
+		sw.drainVault = req.Vault
 		sm.unready(sw, wsWaitDrain)
 		sys.stats.StoreDrainStalls++
 		if sys.ob != nil {
@@ -142,19 +171,18 @@ func (sys *System) handleCandidateEntry(sm *SM, sw *smWarp, cand *compiler.Candi
 		}
 		return true
 	}
-	sys.launchOffload(sm, sw, cand, dest, now)
+	sys.launchOffload(sm, sw, cand, dest, req.Vault, now)
 	return true
 }
 
-// launchOffload packs and sends the offload request.
-func (sys *System) launchOffload(sm *SM, sw *smWarp, cand *compiler.Candidate, dest int, now int64) {
-	sm.unready(sw, wsWaitOffload)
+// buildJob packs one offload request: warp identity, active mask, and the
+// live-in register lanes (the request payload).
+func (sys *System) buildJob(sm *SM, sw *smWarp, cand *compiler.Candidate, dest, vault int) *offloadJob {
 	job := &offloadJob{
-		cand: cand, srcSM: sm, srcWarp: sw, dest: dest,
+		cand: cand, srcSM: sm, srcWarp: sw, dest: dest, vault: vault,
 		mask: sw.w.ActiveMask(), winfo: sw.w.WInfo,
 		dirty: make(map[uint64]struct{}),
 	}
-	// Copy live-in register lanes (the request payload).
 	k := sw.w.Kernel
 	job.liveIn = make([][isa.WarpSize]uint64, k.NumRegs)
 	for r := 0; r < k.NumRegs; r++ {
@@ -162,6 +190,13 @@ func (sys *System) launchOffload(sm *SM, sw *smWarp, cand *compiler.Candidate, d
 			job.liveIn[r] = sw.w.Regs[r]
 		}
 	}
+	return job
+}
+
+// launchOffload packs and sends the offload request.
+func (sys *System) launchOffload(sm *SM, sw *smWarp, cand *compiler.Candidate, dest, vault int, now int64) {
+	sm.unready(sw, wsWaitOffload)
+	job := sys.buildJob(sm, sw, cand, dest, vault)
 	reqBytes := offloadHdrBytes + cand.NumLiveIn()*isa.WarpSize*regLaneBytes
 	sys.stats.OffloadsSent++
 	sys.stats.PCStats.At(cand.StartPC).Sent++
@@ -170,63 +205,27 @@ func (sys *System) launchOffload(sm *SM, sw *smWarp, cand *compiler.Candidate, d
 		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvSend, SM: sm.id, Stack: dest,
 			PC: cand.StartPC, Bytes: reqBytes})
 	}
-	sys.wheel.afterEvent(sys.cfg.OffloadPipeLat, wheelEvent{kind: wevSendOffload, job: job})
-}
-
-// offloadIdeal is the Fig. 2 idealization: zero-cost transfer and perfect
-// co-location (forceColocate steers every access of the stack SM to its own
-// stack). Stack warp capacity still applies — the idealization removes
-// offload overheads, not the logic layer's execution resources.
-func (sys *System) offloadIdeal(sm *SM, sw *smWarp, cand *compiler.Candidate, now int64) bool {
-	dest := sys.destStack(sw, cand)
-	if dest < 0 {
-		sys.gate(now, sm, cand, -1, "nodest")
-		return false
+	lat := sys.cfg.OffloadPipeLat
+	if sys.ptraits.SpawnLat > 0 {
+		lat = sys.ptraits.SpawnLat
 	}
-	if sys.pendingOffloads[dest] >= sys.cfg.StackSMs*sys.cfg.StackWarps() {
-		sys.gate(now, sm, cand, dest, "full")
-		return false
-	}
-	sm.unready(sw, wsWaitOffload)
-	job := &offloadJob{
-		cand: cand, srcSM: sm, srcWarp: sw, dest: dest,
-		mask: sw.w.ActiveMask(), winfo: sw.w.WInfo,
-		dirty: make(map[uint64]struct{}),
-	}
-	k := sw.w.Kernel
-	job.liveIn = make([][isa.WarpSize]uint64, k.NumRegs)
-	for r := 0; r < k.NumRegs; r++ {
-		if cand.LiveIn&(1<<r) != 0 {
-			job.liveIn[r] = sw.w.Regs[r]
-		}
-	}
-	sys.pendingOffloads[dest]++
-	sys.stats.OffloadsSent++
-	sys.stats.PCStats.At(cand.StartPC).Sent++
-	if ob := sys.ob; ob != nil {
-		ob.sent.Inc()
-		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvSend, SM: sm.id, Stack: dest,
-			PC: cand.StartPC})
-	}
-	sm2 := sys.stacks[dest].spawnTarget()
-	sm2.spawnQ = append(sm2.spawnQ, job)
-	return true
+	sys.wheel.afterEvent(lat, wheelEvent{kind: wevSendOffload, job: job})
 }
 
 // trySpawn starts queued offload jobs on free stack-SM warp slots.
 func (sm *SM) trySpawn(now int64) {
 	for len(sm.spawnQ) > 0 {
 		if sm.freeSlots == 0 {
-			if sm.sys.cfg.Offload != OffloadIdeal {
+			if !sm.sys.ptraits.ZeroCost {
 				return
 			}
-			// Ideal mode: oversubscribe.
+			// Zero-cost (ideal) mode: oversubscribe.
 		}
 		job := sm.spawnQ[0]
 		n := copy(sm.spawnQ, sm.spawnQ[1:])
 		sm.spawnQ = sm.spawnQ[:n]
 		sm.spawn(job, now)
-		if sm.sys.cfg.Offload != OffloadIdeal {
+		if !sm.sys.ptraits.ZeroCost {
 			return // one spawn per cycle
 		}
 	}
@@ -292,7 +291,7 @@ func (sys *System) sendOffloadAck(sw *smWarp, now int64) {
 		ob.o.Emit(obs.Event{Cycle: now, Kind: obs.EvAck, SM: sm.id, Stack: job.dest,
 			PC: cand.StartPC, Bytes: ackBytes})
 	}
-	if sys.cfg.Offload == OffloadIdeal {
+	if sys.ptraits.ZeroCost {
 		sys.wheel.afterEvent(1, wheelEvent{kind: wevFinishOffload, job: job})
 		return
 	}
@@ -313,7 +312,7 @@ func (sys *System) finishOffload(job *offloadJob, now int64) {
 		}
 	}
 	invalidateCost := int64(0)
-	if sys.cfg.Coherence && sys.cfg.Offload != OffloadIdeal {
+	if sys.cfg.Coherence && !sys.ptraits.ZeroCost {
 		for line := range job.dirty {
 			sm.l1.Invalidate(line)
 			sys.l2.invalidate(line)
@@ -329,6 +328,9 @@ func (sys *System) finishOffload(job *offloadJob, now int64) {
 			PC: job.cand.StartPC, N: len(job.dirty)})
 	}
 	sys.pendingOffloads[job.dest]--
+	if job.vault >= 0 {
+		sys.pendingVault[job.dest][job.vault]--
+	}
 	sw.w.SkipTo(job.cand.EndPC)
 	sw.regionActive = nil
 	sw.notReadyUntil = now + 1 + invalidateCost
@@ -337,16 +339,44 @@ func (sys *System) finishOffload(job *offloadJob, now int64) {
 }
 
 // destStack finds the memory stack the candidate's first global-memory
-// access (leader lane) would touch, by a side-effect-free scalar dry run
-// from the candidate entry (§4.2 footnote 4: the pipeline executes up to
-// the first memory instruction to discover the destination).
+// access (leader lane) would touch. Kept as the single-access view of
+// dryRun for tests and diagnostics.
 func (sys *System) destStack(sw *smWarp, cand *compiler.Candidate) int {
+	lines, _ := sys.dryRun(sw, cand, 1)
+	if len(lines) == 0 {
+		return -1
+	}
+	return sys.stackOf(lines[0])
+}
+
+// dryRunSteps bounds the scalar dry run; a candidate whose first memory
+// access lies beyond it is reported as bounded (gate reason destbound), not
+// silently folded into "no destination".
+const dryRunSteps = 512
+
+// dryRun performs the side-effect-free scalar walk of §4.2 footnote 4 from
+// the candidate entry on the leader lane, collecting up to maxAcc distinct
+// global-memory line addresses (first access first). With maxAcc == 1 it
+// stops at the first memory instruction — the paper's destination dry run;
+// larger windows (CODA) keep walking, tracking which registers became
+// unknowable (loaded from memory) and stopping at the first instruction
+// whose outcome depends on one: a tainted address or branch predicate ends
+// the trace rather than fabricating addresses.
+//
+// bounded reports that the step bound expired while still inside the
+// region; it distinguishes a truncated trace from a genuinely access-free
+// walk.
+func (sys *System) dryRun(sw *smWarp, cand *compiler.Candidate, maxAcc int) (lines []uint64, bounded bool) {
 	lane := sw.w.LeaderLane()
 	if lane < 0 {
-		return -1
+		return nil, false
+	}
+	if maxAcc < 1 {
+		maxAcc = 1
 	}
 	k := sw.w.Kernel
 	var regs [isa.MaxRegs]uint64
+	var taint [isa.MaxRegs]bool
 	for r := 0; r < k.NumRegs; r++ {
 		regs[r] = sw.w.Regs[r][lane]
 	}
@@ -361,16 +391,43 @@ func (sys *System) destStack(sw *smWarp, cand *compiler.Candidate) int {
 		}
 		return 0
 	}
+	tainted := func(o isa.Operand) bool {
+		return o.Kind == isa.OpdReg && taint[o.Reg]
+	}
+	record := func(addr uint64) bool {
+		line := addr &^ uint64(sys.cfg.LineBytes-1)
+		for _, l := range lines {
+			if l == line {
+				return len(lines) < maxAcc
+			}
+		}
+		lines = append(lines, line)
+		return len(lines) < maxAcc
+	}
 	pc := cand.StartPC
-	for steps := 0; steps < 512 && pc < cand.EndPC && pc >= cand.StartPC; steps++ {
+	for steps := 0; pc < cand.EndPC && pc >= cand.StartPC; steps++ {
+		if steps >= dryRunSteps {
+			return lines, true
+		}
 		in := k.Instrs[pc]
 		switch in.Op {
 		case isa.OpLdGlobal, isa.OpStGlobal:
-			addr := eval(in.A) + uint64(in.Imm)
-			return sys.stackOf(addr &^ uint64(sys.cfg.LineBytes-1))
+			if tainted(in.A) {
+				return lines, false // unknowable address: stop the trace
+			}
+			if !record(eval(in.A) + uint64(in.Imm)) {
+				return lines, false
+			}
+			if in.Op == isa.OpLdGlobal && in.HasDst {
+				taint[in.Dst] = true // loaded value is unknowable
+			}
+			pc++
 		case isa.OpBra:
 			taken := in.A.Kind == isa.OpdNone
 			if !taken {
+				if tainted(in.A) {
+					return lines, false // unknowable predicate: stop
+				}
 				p := eval(in.A) != 0
 				if in.PredNeg {
 					p = !p
@@ -383,23 +440,38 @@ func (sys *System) destStack(sw *smWarp, cand *compiler.Candidate) int {
 				pc++
 			}
 		case isa.OpSetp:
-			v := compareScalarInt(in.Cmp, int64(eval(in.A)), int64(eval(in.B)))
-			regs[in.Dst] = boolTo64(v)
+			if tainted(in.A) || tainted(in.B) {
+				taint[in.Dst] = true
+			} else {
+				v := compareScalarInt(in.Cmp, int64(eval(in.A)), int64(eval(in.B)))
+				regs[in.Dst] = boolTo64(v)
+				taint[in.Dst] = false
+			}
 			pc++
 		case isa.OpFSetp:
-			v := compareScalarFloat(in.Cmp, isa.F32FromBits(eval(in.A)), isa.F32FromBits(eval(in.B)))
-			regs[in.Dst] = boolTo64(v)
+			if tainted(in.A) || tainted(in.B) {
+				taint[in.Dst] = true
+			} else {
+				v := compareScalarFloat(in.Cmp, isa.F32FromBits(eval(in.A)), isa.F32FromBits(eval(in.B)))
+				regs[in.Dst] = boolTo64(v)
+				taint[in.Dst] = false
+			}
 			pc++
 		case isa.OpExit, isa.OpBar, isa.OpLdShared, isa.OpStShared, isa.OpAtomAdd:
-			return -1 // cannot occur in a legal candidate; bail out
+			return lines, false // cannot occur in a legal candidate; bail out
 		default:
 			if in.HasDst {
-				regs[in.Dst] = exec.ALUOp(in.Op, eval(in.A), eval(in.B), eval(in.C))
+				if tainted(in.A) || tainted(in.B) || tainted(in.C) {
+					taint[in.Dst] = true
+				} else {
+					regs[in.Dst] = exec.ALUOp(in.Op, eval(in.A), eval(in.B), eval(in.C))
+					taint[in.Dst] = false
+				}
 			}
 			pc++
 		}
 	}
-	return -1
+	return lines, false
 }
 
 func boolTo64(b bool) uint64 {

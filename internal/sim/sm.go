@@ -84,6 +84,7 @@ type smWarp struct {
 	regionActive *compiler.Candidate
 	drainCand    *compiler.Candidate
 	drainDest    int
+	drainVault   int
 
 	// Learning-phase collection.
 	collect *collectState
@@ -252,7 +253,7 @@ func (sm *SM) drainComplete(sw *smWarp, now int64) {
 	case sw.drainCand != nil:
 		cand := sw.drainCand
 		sw.drainCand = nil
-		sm.sys.launchOffload(sm, sw, cand, sw.drainDest, now)
+		sm.sys.launchOffload(sm, sw, cand, sw.drainDest, sw.drainVault, now)
 	default:
 		// Barrier entry waited on drain; re-issue takes the Bar path.
 		sm.setReady(sw)

@@ -25,18 +25,28 @@ type Stats struct {
 	InternalBytes uint64 // vault TSV traffic (not off-chip)
 
 	// --- Offloading ---
-	CandidateInstances   uint64 // candidate region entries seen on main SMs
-	OffloadsSent         uint64
-	OffloadsAcked        uint64 // offload acks queued by stack SMs
-	InFlightOffloads     int    // offloads still pending at exit (0 at true quiescence)
-	OffloadsSkippedBusy  uint64 // channel-busy gate
-	OffloadsSkippedFull  uint64 // pending-per-stack gate
-	OffloadsSkippedCond  uint64 // conditional threshold not met
-	OffloadsSkippedALU   uint64 // ALU-ratio gate (extension)
+	CandidateInstances  uint64 // candidate region entries seen on main SMs
+	OffloadsSent        uint64
+	OffloadsAcked       uint64 // offload acks queued by stack SMs
+	InFlightOffloads    int    // offloads still pending at exit (0 at true quiescence)
+	OffloadsSkippedBusy uint64 // channel-busy gate
+	OffloadsSkippedFull uint64 // pending-per-stack gate
+	OffloadsSkippedCond uint64 // conditional threshold not met
+	OffloadsSkippedALU  uint64 // ALU-ratio gate (extension)
 	// OffloadsSkippedNoDest counts entries whose destination-stack dry run
 	// failed (no active lanes, or the scalar walk left the region before
 	// the first memory access — §4.2 footnote 4); the region runs inline.
 	OffloadsSkippedNoDest uint64
+	// OffloadsSkippedDestBound counts dry runs whose step bound expired
+	// while still inside the region — previously folded indistinguishably
+	// into NoDest, now separate so long candidates are diagnosable.
+	OffloadsSkippedDestBound uint64
+	// OffloadsSkippedSplit counts instances the co-location-aware policy
+	// (coda) kept on the GPU because their data splits across stacks.
+	OffloadsSkippedSplit uint64
+	// OffloadsSkippedVaultFull counts instances gated by the near-bank
+	// policy's (mpu) per-vault slot limit.
+	OffloadsSkippedVaultFull uint64
 	// LearnEntries counts candidate entries consumed by the tmap learning
 	// phase (executed inline while the mapping analyzer observes; no
 	// offload decision is made for them).
@@ -81,7 +91,8 @@ func (s *Stats) IPC() float64 {
 // OffloadsSkipped sums the gate counters over every skip reason.
 func (s *Stats) OffloadsSkipped() uint64 {
 	return s.OffloadsSkippedBusy + s.OffloadsSkippedFull + s.OffloadsSkippedCond +
-		s.OffloadsSkippedALU + s.OffloadsSkippedNoDest
+		s.OffloadsSkippedALU + s.OffloadsSkippedNoDest + s.OffloadsSkippedDestBound +
+		s.OffloadsSkippedSplit + s.OffloadsSkippedVaultFull
 }
 
 // OffChipBytes sums all off-chip memory traffic (the Fig. 9 metric:

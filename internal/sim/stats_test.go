@@ -94,6 +94,9 @@ func TestObserverMatchesStats(t *testing.T) {
 		{"offload.skipped_cond", st.OffloadsSkippedCond},
 		{"offload.skipped_alu", st.OffloadsSkippedALU},
 		{"offload.skipped_nodest", st.OffloadsSkippedNoDest},
+		{"offload.skipped_destbound", st.OffloadsSkippedDestBound},
+		{"offload.skipped_split", st.OffloadsSkippedSplit},
+		{"offload.skipped_vaultfull", st.OffloadsSkippedVaultFull},
 		{"coherence.invalidates", st.CoherenceInvalidates},
 		{"offload.drain_stalls", st.StoreDrainStalls},
 	}

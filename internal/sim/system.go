@@ -10,6 +10,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/offload"
 )
 
 // launchCtx tracks one kernel launch's CTA dispatch.
@@ -41,6 +42,14 @@ type System struct {
 	pcieTX, pcieRX   *link.Link
 
 	pendingOffloads []int
+	// pendingVault sub-divides pendingOffloads per destination vault for
+	// vault-granular policies (MPU); stack-granular jobs never touch it.
+	pendingVault [][]int
+
+	// policy is the resolved offload policy (Config.PolicyName); ptraits
+	// caches its Traits for the hot path.
+	policy  offload.Policy
+	ptraits offload.Traits
 
 	// Data mapping state.
 	offloadBit int // -1 until a learned/forced bit is active
@@ -73,11 +82,17 @@ type System struct {
 
 // New builds a system over the given memory and allocation table.
 func New(cfg Config, m *mem.Flat, alloc *mem.AllocTable) *System {
+	pol, err := offload.ByName(cfg.PolicyName())
+	if err != nil {
+		panic(err) // validated by internal/core and the CLIs before New
+	}
 	sys := &System{
 		cfg: cfg, mem: m, alloc: alloc,
 		l2mshr:     make(map[uint64]*l2entry),
 		offloadBit: -1,
 		mdCache:    make(map[*isa.Kernel]*compiler.Metadata),
+		policy:     pol,
+		ptraits:    pol.Traits(),
 	}
 	sys.wheel = newWheel(sys)
 	sys.stats.PCStats = compiler.GateProfile{}
@@ -113,6 +128,10 @@ func New(cfg Config, m *mem.Flat, alloc *mem.AllocTable) *System {
 	sys.pcieTX = link.New("pcieTX", cfg.PCIeBW, cfg.PCIeLat/2)
 	sys.pcieRX = link.New("pcieRX", cfg.PCIeBW, cfg.PCIeLat/2)
 	sys.pendingOffloads = make([]int, cfg.Stacks)
+	sys.pendingVault = make([][]int, cfg.Stacks)
+	for s := range sys.pendingVault {
+		sys.pendingVault[s] = make([]int, cfg.VaultsPerStack)
+	}
 	sys.analyzer = mapping.NewAnalyzer(cfg.Stacks, alloc)
 	if cfg.Observer != nil {
 		sys.ob = newObsState(&sys.cfg)
@@ -160,7 +179,7 @@ func (sys *System) stackOf(addr uint64) int {
 	return int((line ^ (line >> 6) ^ (line >> 11)) & uint64(sys.cfg.Stacks-1))
 }
 
-func (sys *System) forceColocate() bool { return sys.cfg.Offload == OffloadIdeal }
+func (sys *System) forceColocate() bool { return sys.ptraits.ForceColocate }
 
 // ApplyGateFeedback installs an observed per-PC gate profile (typically the
 // PCStats of a short profiling run): every kernel metadata table this
@@ -185,13 +204,14 @@ func (sys *System) costParams() compiler.CostParams {
 	return compiler.DefaultCostParams()
 }
 
-// metadata compiles (and caches) the offload metadata for a kernel,
-// applying the installed gate-feedback refinement, if any.
+// metadata compiles (and caches) the offload metadata for a kernel through
+// the policy's candidate-selection hook, applying the installed
+// gate-feedback refinement, if any.
 func (sys *System) metadata(k *isa.Kernel) (*compiler.Metadata, error) {
 	if md, ok := sys.mdCache[k]; ok {
 		return md, nil
 	}
-	md, err := compiler.Analyze(k, sys.costParams())
+	md, err := sys.policy.SelectCandidates(k, sys.costParams())
 	if err != nil {
 		return nil, err
 	}
