@@ -1,0 +1,379 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// options configures a server instance. The zero values of workers/queue/
+// timeout select the defaults in newServer; tests construct these directly,
+// main fills them from flags.
+type options struct {
+	scale       float64       // default problem scale (per-run override allowed)
+	cacheDir    string        // persistent result cache root ("" = memo only)
+	fingerprint string        // build-fingerprint override ("" = real build)
+	workers     int           // simulation concurrency bound (<=0 = GOMAXPROCS)
+	queue       int           // admission bound: queued+running batch requests
+	timeout     time.Duration // default per-batch deadline (0 = no deadline)
+	flushEvery  int           // trace streaming: flush encoder every N events
+	logf        func(format string, args ...any)
+}
+
+// server is the sweep service: it accepts batches of runs over HTTP, executes
+// them through per-scale Sessions sharing one persistent cache and one
+// work-stealing Scheduler, and reports per-batch cache accounting. Cache hits
+// are served with zero simulation; the global worker bound holds across every
+// batch in flight.
+type server struct {
+	opts  options
+	sched *core.Scheduler
+	reg   *obs.Registry // server-level metrics, exposed at /metrics
+	// admit bounds admitted batch work (batch posts and trace streams,
+	// queued or running). Acquisition is non-blocking: a full channel is an
+	// immediate 429, so a burst degrades into fast rejections instead of a
+	// connection pile-up.
+	admit chan struct{}
+
+	mu       sync.Mutex
+	sessions map[float64]*core.Session // lazily created, one per scale
+	specs    map[string]specEntry      // digest -> resolved spec (trace endpoint)
+}
+
+// specEntry remembers a resolved spec and the scale whose session ran it.
+type specEntry struct {
+	spec  core.RunSpec
+	scale float64
+}
+
+func newServer(opts options) *server {
+	if opts.scale <= 0 {
+		opts.scale = 1.0
+	}
+	if opts.queue <= 0 {
+		opts.queue = 16
+	}
+	if opts.flushEvery <= 0 {
+		opts.flushEvery = 64
+	}
+	if opts.logf == nil {
+		opts.logf = func(string, ...any) {}
+	}
+	return &server{
+		opts:     opts,
+		sched:    core.NewScheduler(opts.workers),
+		reg:      obs.NewRegistry(),
+		admit:    make(chan struct{}, opts.queue),
+		sessions: map[float64]*core.Session{},
+		specs:    map[string]specEntry{},
+	}
+}
+
+// session returns (creating once) the Session for a problem scale. All
+// sessions share the cache directory: records are keyed by spec digest,
+// which folds the scale, so they never collide.
+func (s *server) session(scale float64) *core.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[scale]; ok {
+		return sess
+	}
+	sess := core.NewSession(core.Options{
+		Scale:       scale,
+		CacheDir:    s.opts.cacheDir,
+		Fingerprint: s.opts.fingerprint,
+		Progress:    s.opts.logf,
+	})
+	s.sessions[scale] = sess
+	return sess
+}
+
+// handler builds the route table (go 1.22 method+wildcard patterns).
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleBatch)
+	mux.HandleFunc("GET /v1/runs/{digest}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// batchRequest is the POST /v1/runs body.
+type batchRequest struct {
+	Runs []runRequest `json:"runs"`
+	// TimeoutMS overrides the server's per-batch deadline for this batch
+	// (0 keeps the server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// runRequest names one run; scale 0 selects the server default.
+type runRequest struct {
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	Policy   string  `json:"policy,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+}
+
+// runResponse is one run's slot in the batch response, aligned with the
+// request order. Source reports which cache layer satisfied the run.
+type runResponse struct {
+	Workload string          `json:"workload"`
+	Config   string          `json:"config"`
+	Policy   string          `json:"policy,omitempty"`
+	Scale    float64         `json:"scale"`
+	Digest   string          `json:"digest,omitempty"`
+	Source   core.RunSource  `json:"source,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Result   *core.RunResult `json:"result,omitempty"`
+}
+
+// batchSummary is the per-batch cache accounting (the HTTP counterpart of
+// tomsim's "cache: hits=... simulated=..." stderr line). Misses = simulated
+// + errors: every run the cache layers could not satisfy.
+type batchSummary struct {
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Simulated int `json:"simulated"`
+	Errors    int `json:"errors"`
+}
+
+type batchResponse struct {
+	Results []runResponse `json:"results"`
+	Cache   batchSummary  `json:"cache"`
+}
+
+// tryAdmit acquires an admission slot without blocking; on failure it has
+// already written the 429.
+func (s *server) tryAdmit(w http.ResponseWriter) bool {
+	select {
+	case s.admit <- struct{}{}:
+		return true
+	default:
+		s.reg.Counter("http.rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "admission queue full", http.StatusTooManyRequests)
+		return false
+	}
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.tryAdmit(w) {
+		return
+	}
+	defer func() { <-s.admit }()
+	s.reg.Counter("http.batches").Inc()
+
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Runs) == 0 {
+		http.Error(w, "bad batch: no runs", http.StatusBadRequest)
+		return
+	}
+
+	// The deadline covers the whole batch; it also inherits the client's
+	// disconnect through the request context, so an abandoned batch stops
+	// claiming new scheduler slots (runs already simulating finish — a
+	// simulation cannot be interrupted mid-run — and land in the caches).
+	ctx := r.Context()
+	timeout := s.opts.timeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	results := make([]runResponse, len(req.Runs))
+	type job struct {
+		idx   int
+		spec  core.RunSpec
+		scale float64
+	}
+	var jobs []job
+	for i, rr := range req.Runs {
+		scale := rr.Scale
+		if scale <= 0 {
+			scale = s.opts.scale
+		}
+		results[i] = runResponse{
+			Workload: rr.Workload,
+			Config:   rr.Config,
+			Policy:   rr.Policy,
+			Scale:    scale,
+		}
+		sess := s.session(scale)
+		spec, err := sess.SpecWithPolicy(rr.Workload, core.ConfigName(rr.Config), rr.Policy)
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		results[i].Digest = spec.Digest()
+		jobs = append(jobs, job{idx: i, spec: spec, scale: scale})
+	}
+
+	// Execute every resolvable run on the shared scheduler: concurrent
+	// batches contend for the same worker slots, so the server-wide
+	// simulation bound holds under load.
+	errs := s.sched.ForEach(ctx, len(jobs), func(j int) error {
+		res, src, err := s.session(jobs[j].scale).RunSpecTracked(jobs[j].spec)
+		if err != nil {
+			return err
+		}
+		results[jobs[j].idx].Source = src
+		results[jobs[j].idx].Result = res
+		return nil
+	})
+	for j, err := range errs {
+		if err != nil {
+			results[jobs[j].idx].Error = err.Error()
+		}
+	}
+
+	// Remember digests for the trace endpoint (successes only: a spec that
+	// never ran cleanly is not worth re-executing under observation).
+	s.mu.Lock()
+	for j := range jobs {
+		if results[jobs[j].idx].Error == "" {
+			s.specs[jobs[j].spec.Digest()] = specEntry{spec: jobs[j].spec, scale: jobs[j].scale}
+		}
+	}
+	s.mu.Unlock()
+
+	var sum batchSummary
+	for i := range results {
+		switch {
+		case results[i].Error != "":
+			sum.Errors++
+		case results[i].Source == core.SourceSimulated:
+			sum.Simulated++
+		default:
+			sum.Hits++
+		}
+	}
+	sum.Misses = sum.Simulated + sum.Errors
+	s.reg.Counter("runs.hits").Add(uint64(sum.Hits))
+	s.reg.Counter("runs.simulated").Add(uint64(sum.Simulated))
+	s.reg.Counter("runs.errors").Add(uint64(sum.Errors))
+
+	s.writeJSON(w, batchResponse{Results: results, Cache: sum})
+}
+
+// handleTrace re-executes a previously-submitted run under observation and
+// streams its lifecycle trace as it is produced. Observation requires an
+// actual execution (only an execution yields events), so this endpoint
+// always simulates — it admits through the same queue and scheduler as
+// batches. The sink chain is Label → Sampling → AutoFlush → encoder; the
+// AutoFlush layer bounds the client's lag behind the simulation, and the
+// sampling sink's trace_sampled conservation summaries arrive at the end of
+// the stream whether the run succeeds or fails.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	// Admission comes first: under saturation even lookup traffic bounces,
+	// keeping the 429 the one overload signal.
+	if !s.tryAdmit(w) {
+		return
+	}
+	defer func() { <-s.admit }()
+	digest := r.PathValue("digest")
+	s.mu.Lock()
+	ent, ok := s.specs[digest]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown run digest (submit it via POST /v1/runs first)", http.StatusNotFound)
+		return
+	}
+	format, err := obs.ParseFormat(defaultStr(r.URL.Query().Get("format"), "binary"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sample := 1
+	if q := r.URL.Query().Get("sample"); q != "" {
+		if sample, err = strconv.Atoi(q); err != nil || sample < 1 {
+			http.Error(w, "bad sample (want a positive integer)", http.StatusBadRequest)
+			return
+		}
+	}
+	s.reg.Counter("http.traces").Inc()
+
+	if format == obs.FormatBinary {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	fw := &flushWriter{w: w}
+	policy := core.ObsPolicy{
+		Registry:    obs.NewRegistry(),
+		Trace:       obs.NewAutoFlushSink(obs.NewSink(fw, format), s.opts.flushEvery),
+		TraceSample: sample,
+	}
+	o, _ := policy.ObserverFor(ent.spec.Key())
+	_, runErr := s.session(ent.scale).RunSpecObserved(ent.spec, o)
+	// Flush on success and failure alike: a failed run has already streamed
+	// events, and its conservation summaries must still reach the client.
+	flushErr := obs.Flush(o.Trace)
+	if err := errors.Join(runErr, flushErr); err != nil {
+		// Once bytes are on the wire the status is spent; truncating the
+		// stream is all HTTP allows. Before that, a clean 500 is possible.
+		if !fw.wrote {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.opts.logf("trace %s: %v", ent.spec.Key(), err)
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.reg.Snapshot())
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		s.opts.logf("response encode: %v", err)
+	}
+}
+
+// flushWriter forwards writes and, when the ResponseWriter supports it,
+// flushes the HTTP layer after each one — writes only arrive here when the
+// trace encoder itself flushes, so this is the trace streaming cadence.
+type flushWriter struct {
+	w     http.ResponseWriter
+	wrote bool
+}
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if n > 0 {
+		f.wrote = true
+	}
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

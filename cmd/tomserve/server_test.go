@@ -1,0 +1,353 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+const testScale = 0.05
+
+func newTestServer(t *testing.T, opts options) (*server, *httptest.Server) {
+	t.Helper()
+	if opts.scale == 0 {
+		opts.scale = testScale
+	}
+	s := newServer(opts)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postBatch(t *testing.T, url string, req batchRequest) (*http.Response, batchResponse, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out batchResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("bad batch response: %v\n%s", err, raw)
+		}
+	}
+	return resp, out, raw
+}
+
+// TestServerBatchCacheFastPath: the first POST of a batch simulates every
+// run; the second POST of the same batch is served entirely from the cache
+// layers (simulated=0) with results identical to the first — the warm-path
+// acceptance check, HTTP edition.
+func TestServerBatchCacheFastPath(t *testing.T) {
+	_, ts := newTestServer(t, options{cacheDir: t.TempDir(), fingerprint: "test"})
+	batch := batchRequest{Runs: []runRequest{
+		{Workload: "LIB", Config: "baseline"},
+		{Workload: "SP", Config: "ctrl-bmap"},
+	}}
+
+	resp, cold, _ := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold batch: HTTP %d", resp.StatusCode)
+	}
+	if cold.Cache.Simulated != 2 || cold.Cache.Errors != 0 {
+		t.Fatalf("cold batch summary = %+v, want 2 simulated", cold.Cache)
+	}
+	for i, r := range cold.Results {
+		if r.Error != "" || r.Result == nil || r.Digest == "" {
+			t.Fatalf("cold result %d incomplete: %+v", i, r)
+		}
+		if r.Source != core.SourceSimulated {
+			t.Errorf("cold result %d source = %q, want simulated", i, r.Source)
+		}
+	}
+
+	resp, warm, _ := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm batch: HTTP %d", resp.StatusCode)
+	}
+	if warm.Cache.Simulated != 0 || warm.Cache.Hits != 2 || warm.Cache.Misses != 0 {
+		t.Fatalf("warm batch summary = %+v, want 2 hits and nothing simulated", warm.Cache)
+	}
+	for i := range warm.Results {
+		if warm.Results[i].Source != core.SourceMemo {
+			t.Errorf("warm result %d source = %q, want memo", i, warm.Results[i].Source)
+		}
+		a, _ := json.Marshal(cold.Results[i].Result)
+		b, _ := json.Marshal(warm.Results[i].Result)
+		if !bytes.Equal(a, b) {
+			t.Errorf("result %d changed between cold and warm batches:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// TestServerDiskReplayAcrossInstances: a second server over the same cache
+// directory replays from disk without simulating — the restart story.
+func TestServerDiskReplayAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	batch := batchRequest{Runs: []runRequest{{Workload: "LIB", Config: "baseline"}}}
+
+	_, ts1 := newTestServer(t, options{cacheDir: dir, fingerprint: "test"})
+	if _, cold, _ := postBatch(t, ts1.URL, batch); cold.Cache.Simulated != 1 {
+		t.Fatalf("cold summary = %+v", cold.Cache)
+	}
+
+	_, ts2 := newTestServer(t, options{cacheDir: dir, fingerprint: "test"})
+	_, warm, _ := postBatch(t, ts2.URL, batch)
+	if warm.Cache.Simulated != 0 || warm.Cache.Hits != 1 {
+		t.Fatalf("restarted-server summary = %+v, want a disk hit", warm.Cache)
+	}
+	if warm.Results[0].Source != core.SourceDisk {
+		t.Errorf("restarted-server source = %q, want disk", warm.Results[0].Source)
+	}
+}
+
+// TestServerBatchErrors: malformed bodies are 400s; unknown workloads,
+// configurations, and policies fail their own slot (and count as errors)
+// without poisoning the rest of the batch.
+func TestServerBatchErrors(t *testing.T) {
+	_, ts := newTestServer(t, options{cacheDir: t.TempDir(), fingerprint: "test"})
+
+	for _, body := range []string{"{nope", `{"runs":[]}`} {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	resp, out, _ := postBatch(t, ts.URL, batchRequest{Runs: []runRequest{
+		{Workload: "LIB", Config: "baseline"},
+		{Workload: "NOPE", Config: "baseline"},
+		{Workload: "LIB", Config: "no-such-config"},
+		{Workload: "LIB", Config: "baseline", Policy: "no-such-policy"},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed batch: HTTP %d", resp.StatusCode)
+	}
+	if out.Cache.Errors != 3 || out.Cache.Simulated != 1 {
+		t.Fatalf("mixed batch summary = %+v, want 3 errors + 1 simulated", out.Cache)
+	}
+	if out.Results[0].Error != "" || out.Results[0].Result == nil {
+		t.Errorf("good run infected by failing neighbours: %+v", out.Results[0])
+	}
+	for i, want := range map[int]string{1: "NOPE", 2: "no-such-config", 3: "no-such-policy"} {
+		if !strings.Contains(out.Results[i].Error, want) {
+			t.Errorf("result %d error = %q, want mention of %q", i, out.Results[i].Error, want)
+		}
+	}
+}
+
+// TestServerAdmissionQueue: with every admission slot held, batch and trace
+// requests bounce with 429 + Retry-After instead of queueing; releasing a
+// slot readmits.
+func TestServerAdmissionQueue(t *testing.T) {
+	s, ts := newTestServer(t, options{cacheDir: t.TempDir(), fingerprint: "test", queue: 2})
+	for i := 0; i < cap(s.admit); i++ {
+		s.admit <- struct{}{}
+	}
+	batch := batchRequest{Runs: []runRequest{{Workload: "LIB", Config: "baseline"}}}
+	resp, _, _ := postBatch(t, ts.URL, batch)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	tr, err := http.Get(ts.URL + "/v1/runs/feedfeed/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("full queue trace: HTTP %d, want 429", tr.StatusCode)
+	}
+
+	<-s.admit
+	if resp, out, _ := postBatch(t, ts.URL, batch); resp.StatusCode != http.StatusOK || out.Cache.Errors != 0 {
+		t.Fatalf("after releasing a slot: HTTP %d %+v", resp.StatusCode, out.Cache)
+	}
+}
+
+// TestServerBatchDeadline: a batch with a tiny timeout on a single-worker
+// server reports the deadline in the slots that never started; the batch
+// itself still answers 200 with per-run accounting.
+func TestServerBatchDeadline(t *testing.T) {
+	_, ts := newTestServer(t, options{cacheDir: t.TempDir(), fingerprint: "test", workers: 1})
+	resp, out, _ := postBatch(t, ts.URL, batchRequest{
+		TimeoutMS: 1,
+		Runs: []runRequest{
+			{Workload: "LIB", Config: "baseline"},
+			{Workload: "SP", Config: "baseline"},
+			{Workload: "LIB", Config: "ctrl-bmap"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadline batch: HTTP %d", resp.StatusCode)
+	}
+	if out.Cache.Errors == 0 {
+		t.Fatalf("1ms deadline over 3 cold runs on one worker produced no errors: %+v", out.Cache)
+	}
+	found := false
+	for _, r := range out.Results {
+		if strings.Contains(r.Error, "context deadline exceeded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no slot reports the deadline: %+v", out.Results)
+	}
+}
+
+// TestServerTransientFailureRetries is the end-to-end acceptance check for
+// the singleflight fix: a batch that fails on a transient cache-read error
+// succeeds when re-POSTed to the same server process after the condition
+// clears. Before the fix the first error was memoized for the server's
+// lifetime.
+func TestServerTransientFailureRetries(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, options{cacheDir: dir, fingerprint: "test"})
+	spec, err := core.NewRunSpec("LIB", testScale, core.CfgBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker := filepath.Join(dir, spec.Digest()+".json")
+	if err := os.MkdirAll(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := batchRequest{Runs: []runRequest{{Workload: "LIB", Config: "baseline"}}}
+	_, out, _ := postBatch(t, ts.URL, batch)
+	if out.Cache.Errors != 1 || !strings.Contains(out.Results[0].Error, "cache: read") {
+		t.Fatalf("blocked batch = %+v, want a cache read error", out.Results)
+	}
+
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	_, out, _ = postBatch(t, ts.URL, batch)
+	if out.Cache.Errors != 0 || out.Cache.Simulated != 1 {
+		t.Fatalf("retry after the failure cleared = %+v, want one clean simulation", out.Cache)
+	}
+}
+
+// TestServerTraceStream: the trace endpoint re-executes a submitted run and
+// streams a decodable trace whose events carry the run's label; sampling
+// appends conservation summaries; unknown digests and bad parameters fail
+// cleanly.
+func TestServerTraceStream(t *testing.T) {
+	_, ts := newTestServer(t, options{cacheDir: t.TempDir(), fingerprint: "test"})
+	_, out, _ := postBatch(t, ts.URL, batchRequest{Runs: []runRequest{
+		{Workload: "LIB", Config: "ctrl-bmap"},
+	}})
+	if len(out.Results) != 1 || out.Results[0].Digest == "" {
+		t.Fatalf("batch gave no digest: %+v", out.Results)
+	}
+	digest := out.Results[0].Digest
+
+	for _, q := range []string{"", "?format=jsonl", "?format=binary&sample=8"} {
+		resp, err := http.Get(ts.URL + "/v1/runs/" + digest + "/trace" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trace%s: HTTP %d", q, resp.StatusCode)
+		}
+		rd, err := obs.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("trace%s: %v", q, err)
+		}
+		events, summaries := 0, 0
+		for {
+			ev, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("trace%s: decode: %v", q, err)
+			}
+			if ev.Run != "LIB/ctrl-bmap" {
+				t.Fatalf("trace%s: event with run label %q", q, ev.Run)
+			}
+			if ev.Kind == obs.EvTraceSampled {
+				summaries++
+			}
+			events++
+		}
+		if events == 0 {
+			t.Fatalf("trace%s: empty stream", q)
+		}
+		if strings.Contains(q, "sample") && summaries == 0 {
+			t.Errorf("trace%s: sampled stream carries no trace_sampled summaries", q)
+		}
+	}
+
+	for path, want := range map[string]int{
+		"/v1/runs/0000dead/trace":                http.StatusNotFound,
+		"/v1/runs/" + digest + "/trace?format=x": http.StatusBadRequest,
+		"/v1/runs/" + digest + "/trace?sample=0": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: HTTP %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestServerMetricsAndHealth: /healthz answers, and /metrics reflects the
+// traffic the other tests of this server instance generated.
+func TestServerMetricsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, options{cacheDir: t.TempDir(), fingerprint: "test"})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("/healthz: HTTP %d %q", resp.StatusCode, body)
+	}
+
+	postBatch(t, ts.URL, batchRequest{Runs: []runRequest{{Workload: "LIB", Config: "baseline"}}})
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Counters["http.batches"] != 1 || snap.Counters["runs.simulated"] != 1 {
+		t.Fatalf("/metrics counters = %+v, want one batch and one simulation", snap.Counters)
+	}
+}

@@ -387,20 +387,51 @@ func (s *Session) Run(abbr string, name ConfigName) (*RunResult, error) {
 	return s.runSpec(spec, nil)
 }
 
+// RunSource reports which layer satisfied a run (see RunSpecTracked).
+type RunSource string
+
+const (
+	// SourceMemo: served by the in-memory memo, including requests that
+	// were deduplicated onto another caller's in-flight execution.
+	SourceMemo RunSource = "memo"
+	// SourceDisk: replayed from the persistent cache.
+	SourceDisk RunSource = "disk"
+	// SourceSimulated: a fresh verified simulation.
+	SourceSimulated RunSource = "simulated"
+)
+
+// RunSpecTracked executes (or replays) like RunSpecExact and additionally
+// reports which cache layer satisfied the request. Batch servers use this
+// for per-batch accounting, which the cumulative CacheStats cannot provide
+// once batches overlap in time.
+func (s *Session) RunSpecTracked(spec RunSpec) (*RunResult, RunSource, error) {
+	return s.runSpecSource(spec, nil)
+}
+
 // runSpec executes (or replays) a fully-resolved spec through the layered
 // caches. prep, when non-nil, configures the simulator after construction
 // and before Run (adaptive feedback injection); anything prep changes must
 // already be part of the spec's digest, or cached replays would diverge
 // from fresh executions.
 func (s *Session) runSpec(spec RunSpec, prep func(*sim.System)) (*RunResult, error) {
+	res, _, err := s.runSpecSource(spec, prep)
+	return res, err
+}
+
+// runSpecSource is runSpec with the satisfying layer made explicit. The
+// source defaults to SourceMemo: a caller whose once-closure never ran was
+// either served by the memo fast path or deduplicated onto a concurrent
+// flight, and in both cases the session did no extra work for it.
+func (s *Session) runSpecSource(spec RunSpec, prep func(*sim.System)) (*RunResult, RunSource, error) {
 	digest := spec.Digest()
 	s.mu.Lock()
 	if res, ok := s.runs[digest]; ok {
 		s.stats.MemoHits++
 		s.mu.Unlock()
-		return res, nil
+		return res, SourceMemo, nil
 	}
 	s.mu.Unlock()
+	src := SourceMemo
 	err := s.once("run/"+digest, func() error {
 		s.mu.Lock()
 		_, ok := s.runs[digest]
@@ -417,18 +448,20 @@ func (s *Session) runSpec(spec RunSpec, prep func(*sim.System)) (*RunResult, err
 		s.runKeys[digest] = spec.Key()
 		if fromDisk {
 			s.stats.DiskHits++
+			src = SourceDisk
 		} else {
 			s.stats.Simulated++
+			src = SourceSimulated
 		}
 		s.mu.Unlock()
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, src, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.runs[digest], nil
+	return s.runs[digest], src, nil
 }
 
 // fetchOrRun consults the persistent layer, then simulates on a miss and

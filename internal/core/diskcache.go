@@ -81,7 +81,10 @@ func (c *DiskCache) path(digest string) string {
 
 // Get loads the cached result for a spec digest. A missing file, unreadable
 // record, or fingerprint mismatch is a miss (false); only unexpected I/O
-// failures surface as errors.
+// failures surface as errors. Dead records — torn JSON or a foreign
+// fingerprint — are removed on the way out: they can never be replayed by
+// this build, and leaving them behind made a long-lived cache directory
+// accumulate one unreachable record per digest per past build.
 func (c *DiskCache) Get(digest string) (*RunResult, bool, error) {
 	data, err := os.ReadFile(c.path(digest))
 	if err != nil {
@@ -92,13 +95,58 @@ func (c *DiskCache) Get(digest string) (*RunResult, bool, error) {
 	}
 	var rec cacheRecord
 	if err := json.Unmarshal(data, &rec); err != nil {
-		return nil, false, nil // torn/corrupt record: recompute and overwrite
+		c.discard(digest) // torn/corrupt record: recompute and overwrite
+		return nil, false, nil
 	}
 	if rec.Fingerprint != c.fingerprint {
-		return nil, false, nil // stale build: self-invalidate
+		c.discard(digest) // stale build: self-invalidate
+		return nil, false, nil
 	}
 	res := rec.Result
 	return &res, true, nil
+}
+
+// discard removes a dead record. Removal errors are deliberately dropped:
+// a concurrent process may have removed or replaced the record already,
+// and the fresh run's Put overwrites the path either way.
+func (c *DiskCache) discard(digest string) {
+	os.Remove(c.path(digest))
+}
+
+// Sweep removes every record in the cache directory that this build can
+// never replay — torn JSON and foreign fingerprints — and reports how many
+// were removed. Long-running servers call it at startup so a cache
+// directory that outlives many builds holds only records the serving
+// binary can actually use; records for digests the current build simply
+// has not requested yet are left alone (their fingerprints match).
+// Subdirectories (the feedback store) are not touched.
+func (c *DiskCache) Sweep() (int, error) {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil // nothing cached yet
+		}
+		return 0, fmt.Errorf("cache: sweep: %w", err)
+	}
+	removed := 0
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		path := filepath.Join(c.dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // raced with a concurrent remove/replace
+		}
+		var rec cacheRecord
+		if json.Unmarshal(data, &rec) == nil && rec.Fingerprint == c.fingerprint {
+			continue
+		}
+		if os.Remove(path) == nil {
+			removed++
+		}
+	}
+	return removed, nil
 }
 
 // Put stores a verified result under the spec's digest. The write is

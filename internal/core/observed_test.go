@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/obs"
@@ -102,6 +103,91 @@ func TestWarmObservedTraceSampling(t *testing.T) {
 	for _, p := range pairs {
 		if !seen[p.Key()] {
 			t.Errorf("%s: no send events survived sampling", p.Key())
+		}
+	}
+}
+
+// TestWarmSpecsObservedFlushesFailedRuns extends the sampling-conservation
+// check with a failing run: a run that dies mid-simulation has already
+// pushed events through its sampling sink, so its per-kind trace_sampled
+// summaries must still reach the shared trace — otherwise the trace
+// under-reports what was sampled away exactly when a reader most needs to
+// know (the run it is debugging is the one that failed). The failure is
+// induced by truncating MaxCycles just below the run's natural length, so
+// nearly the whole event stream exists before the error.
+func TestWarmSpecsObservedFlushesFailedRuns(t *testing.T) {
+	const scale = 0.05
+	s := NewSession(Options{Scale: scale})
+
+	// Learn the failing run's natural length first (memoized, cheap).
+	natural, err := s.Run("SP", CfgCtrlBmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := NewRunSpec("LIB", scale, CfgCtrlBmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := NewRunSpec("SP", scale, CfgCtrlBmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Cfg.MaxCycles = natural.Stats.Cycles - 2 // quiescence is unreachable
+
+	trace := &obs.CollectSink{}
+	snaps, err := s.WarmSpecsObserved([]RunSpec{good, bad}, ObsPolicy{
+		Registry:    obs.NewRegistry(),
+		Trace:       trace,
+		TraceSample: 8,
+	})
+	if err == nil {
+		t.Fatal("the truncated run must fail")
+	}
+	if !strings.Contains(err.Error(), "SP/ctrl-bmap") || !strings.Contains(err.Error(), "MaxCycles") {
+		t.Fatalf("unexpected failure: %v", err)
+	}
+	if snaps[0] == nil {
+		t.Fatal("the good run must still snapshot")
+	}
+	if snaps[1] != nil {
+		t.Fatal("the failed run must not snapshot")
+	}
+
+	// Conservation per run label, failed run included: every kind that kept
+	// events has a trace_sampled summary whose Kept matches the events that
+	// actually reached the trace, with N >= Kept.
+	kept := map[string]map[string]int{}
+	summaries := map[string]map[string]obs.Event{}
+	for _, ev := range trace.Events() {
+		if ev.Kind == obs.EvTraceSampled {
+			if summaries[ev.Run] == nil {
+				summaries[ev.Run] = map[string]obs.Event{}
+			}
+			summaries[ev.Run][ev.Reason] = ev
+			continue
+		}
+		if kept[ev.Run] == nil {
+			kept[ev.Run] = map[string]int{}
+		}
+		kept[ev.Run][ev.Kind]++
+	}
+	for _, label := range []string{good.Key(), bad.Key()} {
+		sums := summaries[label]
+		if len(sums) == 0 {
+			t.Fatalf("%s: no trace_sampled summaries reached the shared trace", label)
+		}
+		for kind, n := range kept[label] {
+			sum, ok := sums[kind]
+			if !ok {
+				t.Errorf("%s: kind %s kept %d events but has no summary", label, kind, n)
+				continue
+			}
+			if sum.Kept != n {
+				t.Errorf("%s/%s: summary says kept=%d, trace holds %d", label, kind, sum.Kept, n)
+			}
+			if sum.N < sum.Kept {
+				t.Errorf("%s/%s: seen %d < kept %d", label, kind, sum.N, sum.Kept)
+			}
 		}
 	}
 }

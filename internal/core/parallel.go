@@ -1,24 +1,31 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/obs"
 )
 
 // flight deduplicates concurrent computations of the same key: the first
-// caller computes, later callers wait. Protected by Session.mu.
+// caller computes, later callers wait. Protected by Session.mu. A flight
+// lives in Session.inflight only while it is running — it is deleted the
+// moment the computation finishes, so the map never grows beyond the work
+// actually in progress and a failed computation never memoizes its error
+// (callers arriving after the failure start a fresh flight; this is what
+// makes a transient failure retryable within one long-lived session).
 type flight struct {
 	done chan struct{}
 	err  error
 }
 
-// once runs fn for key exactly once across goroutines; concurrent callers
-// block until the first finishes. Results are communicated through the
-// Session's memo maps (fn must store its own result under s.mu).
+// once runs fn for key exactly once among concurrent callers; callers that
+// arrive while a flight is running block until it finishes and share its
+// error. Results are communicated through the Session's memo maps (fn must
+// store its own result under s.mu), so a successful flight's work is found
+// there by later callers and a failed flight leaves nothing behind.
 func (s *Session) once(key string, fn func() error) error {
 	s.mu.Lock()
 	if f, ok := s.inflight[key]; ok {
@@ -31,6 +38,9 @@ func (s *Session) once(key string, fn func() error) error {
 	s.mu.Unlock()
 
 	f.err = fn()
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
 	close(f.done)
 	return f.err
 }
@@ -44,45 +54,17 @@ type Pair struct {
 // Key returns the run identity ("ABBR/config").
 func (p Pair) Key() string { return p.Abbr + "/" + string(p.Config) }
 
-// forEachPair runs fn over pairs on a bounded worker pool and joins every
-// failure, reported in submission order so the message is deterministic.
+// forEachPair runs fn over pairs on a work-stealing pool bounded by
+// GOMAXPROCS and joins every failure, reported in submission order so the
+// message is deterministic.
 func forEachPair(pairs []Pair, fn func(Pair) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	ch := make(chan Pair)
-	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	errs := make(map[Pair]error)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for p := range ch {
-				if err := fn(p); err != nil {
-					errMu.Lock()
-					errs[p] = err
-					errMu.Unlock()
-				}
-			}
-		}()
-	}
-	for _, p := range pairs {
-		ch <- p
-	}
-	close(ch)
-	wg.Wait()
-	if len(errs) == 0 {
-		return nil
-	}
+	errs := NewScheduler(0).ForEach(context.Background(), len(pairs), func(i int) error {
+		return fn(pairs[i])
+	})
 	var joined []error
-	for _, p := range pairs {
-		if err, ok := errs[p]; ok {
-			joined = append(joined, fmt.Errorf("warm %s: %w", p.Key(), err))
+	for i, p := range pairs {
+		if errs[i] != nil {
+			joined = append(joined, fmt.Errorf("warm %s: %w", p.Key(), errs[i]))
 		}
 	}
 	return errors.Join(joined...)
@@ -123,16 +105,43 @@ type ObsPolicy struct {
 // Observer builds the scoped observer for one run and returns it together
 // with the scoped registry view (whose Snapshot covers just this run).
 func (p *ObsPolicy) Observer(pair Pair) (*obs.Observer, *obs.Registry) {
-	scoped := p.Registry.Scoped(pair.Key() + "/")
+	return p.ObserverFor(pair.Key())
+}
+
+// ObserverFor builds the scoped observer for one run label ("ABBR/config"
+// for named pairs; any unique string works) and returns it together with
+// the scoped registry view.
+func (p *ObsPolicy) ObserverFor(label string) (*obs.Observer, *obs.Registry) {
+	scoped := p.Registry.Scoped(label + "/")
 	o := &obs.Observer{Registry: scoped, SampleEvery: p.SampleEvery}
 	if p.Trace != nil {
-		var sink obs.EventSink = obs.NewLabelSink(p.Trace, pair.Key())
+		var sink obs.EventSink = obs.NewLabelSink(p.Trace, label)
 		if p.TraceSample > 1 {
 			sink = obs.NewSamplingSink(sink, p.TraceSample)
 		}
 		o.Trace = sink
 	}
 	return o, scoped
+}
+
+// observedOne executes one observed run through exec with a policy-scoped
+// observer and returns the run's scoped snapshot. The sink chain is flushed
+// on success and failure alike: a sampling sink emits its per-kind
+// trace_sampled conservation summaries at flush, and a run that failed
+// halfway has already pushed events through the chain — swallowing the
+// flush on the error path would make the shared trace under-report what
+// was sampled away.
+func (s *Session) observedOne(label string, policy ObsPolicy, exec func(*obs.Observer) error) (*obs.Snapshot, error) {
+	o, scoped := policy.ObserverFor(label)
+	runErr := exec(o)
+	flushErr := obs.Flush(o.Trace)
+	if runErr != nil {
+		return nil, runErr
+	}
+	if flushErr != nil {
+		return nil, flushErr
+	}
+	return scoped.Snapshot(), nil
 }
 
 // WarmObserved executes the given runs in parallel, each with a scoped
@@ -144,22 +153,47 @@ func (s *Session) WarmObserved(pairs []Pair, policy ObsPolicy) (map[Pair]*obs.Sn
 	out := make(map[Pair]*obs.Snapshot, len(pairs))
 	var outMu sync.Mutex
 	err := forEachPair(pairs, func(p Pair) error {
-		o, scoped := policy.Observer(p)
-		if _, err := s.RunObserved(p.Abbr, p.Config, o); err != nil {
+		snap, err := s.observedOne(p.Key(), policy, func(o *obs.Observer) error {
+			_, err := s.RunObserved(p.Abbr, p.Config, o)
 			return err
-		}
-		// Flush the run's sink chain: a sampling sink emits its per-kind
-		// trace_sampled summaries here (labeled with this run), so the
-		// shared trace states per run what was sampled away.
-		if err := obs.Flush(o.Trace); err != nil {
+		})
+		if err != nil {
 			return err
 		}
 		outMu.Lock()
-		out[p] = scoped.Snapshot()
+		out[p] = snap
 		outMu.Unlock()
 		return nil
 	})
 	return out, err
+}
+
+// WarmSpecsObserved is WarmObserved over fully-resolved specs: each spec
+// executes with a scoped observer labeled spec.Key(), and the result slice
+// aligns with specs (nil snapshot for a failed run). Callers batching
+// specs that share a Key (same workload and configuration name with
+// different resolved parameters) should expect their metrics to merge
+// under one label. Failures are joined as in Warm.
+func (s *Session) WarmSpecsObserved(specs []RunSpec, policy ObsPolicy) ([]*obs.Snapshot, error) {
+	out := make([]*obs.Snapshot, len(specs))
+	errs := NewScheduler(0).ForEach(context.Background(), len(specs), func(i int) error {
+		snap, err := s.observedOne(specs[i].Key(), policy, func(o *obs.Observer) error {
+			_, err := s.RunSpecObserved(specs[i], o)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		out[i] = snap
+		return nil
+	})
+	var joined []error
+	for i, sp := range specs {
+		if errs[i] != nil {
+			joined = append(joined, fmt.Errorf("warm %s: %w", sp.Key(), errs[i]))
+		}
+	}
+	return out, errors.Join(joined...)
 }
 
 // FullMatrix lists every (workload, configuration) pair the complete

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedulerRunsEveryIndexOnce: every index in [0, n) executes exactly
+// once, across partition sizes that exercise uneven splits and more items
+// than workers.
+func TestSchedulerRunsEveryIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 1}, {1, 7}, {4, 3}, {4, 4}, {4, 5}, {3, 100}, {8, 1000},
+	} {
+		sc := NewScheduler(tc.workers)
+		counts := make([]atomic.Int32, tc.n)
+		errs := sc.ForEach(context.Background(), tc.n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if len(errs) != tc.n {
+			t.Fatalf("w=%d n=%d: %d error slots", tc.workers, tc.n, len(errs))
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("w=%d n=%d: index %d ran %d times", tc.workers, tc.n, i, got)
+			}
+			if errs[i] != nil {
+				t.Errorf("w=%d n=%d: index %d unexpected error %v", tc.workers, tc.n, i, errs[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerErrorsLandAtTheirIndex: a failure is reported in the failing
+// index's slot and nowhere else.
+func TestSchedulerErrorsLandAtTheirIndex(t *testing.T) {
+	sc := NewScheduler(4)
+	boom := errors.New("boom")
+	errs := sc.ForEach(context.Background(), 20, func(i int) error {
+		if i%3 == 0 {
+			return fmt.Errorf("item %d: %w", i, boom)
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if i%3 == 0 {
+			if !errors.Is(err, boom) {
+				t.Errorf("index %d: want boom, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Errorf("index %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+// TestSchedulerSteals: worker 0's first item blocks until its second item
+// completes — which only a thief can run. A partition-only pool (no
+// stealing) deadlocks here; the watchdog converts that into a failure.
+func TestSchedulerSteals(t *testing.T) {
+	sc := NewScheduler(2) // partitions: worker0 [0,2), worker1 [2,4)
+	oneDone := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		errs := sc.ForEach(context.Background(), 4, func(i int) error {
+			switch i {
+			case 0:
+				<-oneDone // needs item 1 to have run
+			case 1:
+				close(oneDone)
+			}
+			return nil
+		})
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("index %d: %v", i, err)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ForEach deadlocked: item 1 was never stolen")
+	}
+}
+
+// TestSchedulerCancellation: after the context is cancelled, items not yet
+// started carry ctx.Err() and fn is never invoked for them.
+func TestSchedulerCancellation(t *testing.T) {
+	sc := NewScheduler(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 50
+	var started atomic.Int32
+	release := make(chan struct{})
+	errs := sc.ForEach(ctx, n, func(i int) error {
+		if started.Add(1) == 2 {
+			cancel()
+			close(release)
+		} else {
+			<-release // first two items hold both workers until cancel
+		}
+		return nil
+	})
+	ran := int(started.Load())
+	if ran >= n {
+		t.Fatalf("all %d items ran despite cancellation", n)
+	}
+	cancelled := 0
+	for i, err := range errs {
+		if errors.Is(err, context.Canceled) {
+			cancelled++
+		} else if err != nil {
+			t.Errorf("index %d: unexpected error %v", i, err)
+		}
+	}
+	if got := n - ran; cancelled != got {
+		t.Errorf("%d slots carry ctx.Err(), want %d (n=%d ran=%d)", cancelled, got, n, ran)
+	}
+}
+
+// TestSchedulerSharedBoundAcrossBatches: two concurrent ForEach calls on one
+// scheduler never exceed the scheduler's slot count in simultaneously
+// running items.
+func TestSchedulerSharedBoundAcrossBatches(t *testing.T) {
+	const workers = 3
+	sc := NewScheduler(workers)
+	var cur, peak atomic.Int32
+	run := func(n int) {
+		sc.ForEach(context.Background(), n, func(int) error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); run(25) }()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds the %d-slot bound", p, workers)
+	}
+}

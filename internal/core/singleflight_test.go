@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// inflightLen reads the singleflight map size (test helper).
+func (s *Session) inflightLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
+// TestOnceRetriesAfterError: a failed flight must not memoize its error —
+// the next caller for the same key re-runs the computation. This is the
+// difference between a transient failure costing one request and poisoning
+// a digest for the life of a long-running server.
+func TestOnceRetriesAfterError(t *testing.T) {
+	s := NewSession(Options{Scale: 0.05})
+	calls := 0
+	if err := s.once("k", func() error { calls++; return errors.New("transient") }); err == nil {
+		t.Fatal("first flight must fail")
+	}
+	if err := s.once("k", func() error { calls++; return nil }); err != nil {
+		t.Fatalf("retry after error must re-run the function, got %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2 (the error was memoized)", calls)
+	}
+	if n := s.inflightLen(); n != 0 {
+		t.Fatalf("inflight map holds %d entries after completion, want 0", n)
+	}
+}
+
+// TestOnceConcurrentErrorSharing: callers that arrive while a failing
+// flight is running share its error without running their own function;
+// callers that arrive after it completed start a fresh flight. Whatever the
+// schedule, the outcomes must partition exactly that way, and the map must
+// end empty.
+func TestOnceConcurrentErrorSharing(t *testing.T) {
+	s := NewSession(Options{Scale: 0.05})
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	first := make(chan error, 1)
+	go func() {
+		first <- s.once("k", func() error {
+			close(started)
+			<-release
+			return boom
+		})
+	}()
+	<-started
+
+	const n = 10
+	var wg sync.WaitGroup
+	var ownRuns atomic.Int32 // how many latecomers ran their own fn
+	results := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.once("k", func() error {
+				ownRuns.Add(1)
+				return nil
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if err := <-first; !errors.Is(err, boom) {
+		t.Fatalf("flight owner got %v, want boom", err)
+	}
+
+	sharedErr := 0
+	for i, err := range results {
+		switch {
+		case errors.Is(err, boom):
+			sharedErr++ // joined the failing flight as a waiter
+		case err == nil: // arrived after the failure (fresh flight, or its waiter)
+		default:
+			t.Errorf("caller %d: unexpected error %v", i, err)
+		}
+	}
+	// Latecomers split into fresh-flight owners (ran their fn) and waiters
+	// on those flights (did not); boom-waiters never run theirs. So the
+	// execution count is bounded by the latecomer count — and before the
+	// fix it was always zero, every caller forever sharing the stale error.
+	got := int(ownRuns.Load())
+	if got > n-sharedErr {
+		t.Errorf("%d own runs exceed the %d callers that missed the failing flight", got, n-sharedErr)
+	}
+	if sharedErr < n && got == 0 {
+		t.Error("latecomers arrived after the failure yet none re-ran the function (error memoized)")
+	}
+	if n := s.inflightLen(); n != 0 {
+		t.Fatalf("inflight map holds %d entries after completion, want 0", n)
+	}
+}
+
+// TestSessionRetriesTransientRunFailure is the end-to-end regression for
+// the singleflight fix: a run that fails on a transient environmental
+// error (here: the cache record path is unreadable) must succeed on retry
+// within the same session once the condition clears. Before the fix the
+// first error was memoized in the inflight map forever.
+func TestSessionRetriesTransientRunFailure(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSession(Options{Scale: 0.05, CacheDir: dir, Fingerprint: "fp"})
+	spec, err := NewRunSpec("LIB", 0.05, CfgBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A directory where the record file should be makes DiskCache.Get fail
+	// with a read error (EISDIR) — the transient failure.
+	blocker := filepath.Join(dir, spec.Digest()+".json")
+	if err := os.MkdirAll(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("LIB", CfgBaseline); err == nil {
+		t.Fatal("run over an unreadable cache record must fail")
+	} else if !strings.Contains(err.Error(), "cache: read") {
+		t.Fatalf("unexpected failure: %v", err)
+	}
+	// The condition clears; the same session must now simulate and succeed.
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run("LIB", CfgBaseline)
+	if err != nil {
+		t.Fatalf("retry after the transient failure cleared: %v", err)
+	}
+	if res == nil || res.Stats.Cycles == 0 {
+		t.Fatal("retry produced no result")
+	}
+	if st := s.CacheStats(); st.Simulated != 1 {
+		t.Fatalf("stats after retry = %+v, want exactly one simulation", st)
+	}
+}

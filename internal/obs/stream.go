@@ -1,0 +1,48 @@
+package obs
+
+import "sync"
+
+// AutoFlushSink forwards events to an encoder sink and flushes it after
+// every N events, so a consumer reading the encoded stream live — a
+// tomserve trace client, a tail -f on a growing file — sees records at a
+// bounded lag instead of in encoder-buffer-sized bursts (BinarySink and
+// JSONLSink buffer 64 KiB).
+//
+// Wrap the innermost encoder only. Flushing is not transparent for every
+// sink: a SamplingSink emits its one-shot trace_sampled summaries on
+// Flush, so periodic flushes through one would scatter summaries
+// mid-stream. The correct chain is Label → Sampling → Flushing → encoder.
+// Safe for concurrent Emit when the inner sink is.
+type AutoFlushSink struct {
+	inner EventSink
+	every int
+
+	mu sync.Mutex
+	n  int
+}
+
+// NewAutoFlushSink wraps inner, flushing it after every `every` events;
+// every <= 1 flushes after each event.
+func NewAutoFlushSink(inner EventSink, every int) *AutoFlushSink {
+	if every < 1 {
+		every = 1
+	}
+	return &AutoFlushSink{inner: inner, every: every}
+}
+
+// Emit forwards the event, flushing the inner sink when the interval
+// elapses. Flush errors surface through the final Flush (buffered encoders
+// retain their first error), not here — emit stays fire-and-forget.
+func (s *AutoFlushSink) Emit(ev Event) {
+	s.inner.Emit(ev)
+	s.mu.Lock()
+	s.n++
+	due := s.n%s.every == 0
+	s.mu.Unlock()
+	if due {
+		Flush(s.inner) //nolint:errcheck // retained by the encoder, surfaced on final Flush
+	}
+}
+
+// Flush flushes the wrapped sink and returns its error.
+func (s *AutoFlushSink) Flush() error { return Flush(s.inner) }

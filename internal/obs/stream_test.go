@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+// countWriter counts Write calls (each one is a buffer drain when wrapped
+// by a bufio-backed encoder).
+type countWriter struct {
+	mu     sync.Mutex
+	writes int
+	bytes  int
+}
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.writes++
+	w.bytes += len(p)
+	return len(p), nil
+}
+
+// TestAutoFlushSinkDeliversIncrementally: with a flush interval of k, the
+// underlying writer must have received bytes well before the final Flush —
+// the whole point of the wrapper is that a live reader is never a full
+// encoder buffer behind.
+func TestAutoFlushSinkDeliversIncrementally(t *testing.T) {
+	w := &countWriter{}
+	enc := NewBinarySink(w)
+	s := NewAutoFlushSink(enc, 8)
+	for i := 0; i < 64; i++ {
+		s.Emit(Event{Kind: EvSend, Cycle: int64(i), SM: i % 4, Stack: i % 2})
+	}
+	w.mu.Lock()
+	seen := w.bytes
+	w.mu.Unlock()
+	if seen == 0 {
+		t.Fatal("no bytes reached the writer before the final Flush")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoFlushSinkStreamDecodes: a stream produced through the periodic
+// flusher is byte-identical to the unwrapped encoding and decodes to the
+// same events — flushing must never cut a record or perturb the encoder's
+// delta/intern state.
+func TestAutoFlushSinkStreamDecodes(t *testing.T) {
+	events := make([]Event, 50)
+	for i := range events {
+		events[i] = Event{Kind: EvCandidate, Cycle: int64(i * 3), SM: i, PC: 100 + i}
+	}
+
+	var plain, flushed bytes.Buffer
+	p := NewBinarySink(&plain)
+	for _, ev := range events {
+		p.Emit(ev)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f := NewAutoFlushSink(NewBinarySink(&flushed), 3)
+	for _, ev := range events {
+		f.Emit(ev)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), flushed.Bytes()) {
+		t.Fatal("periodic flushing changed the encoded bytes")
+	}
+
+	r, err := NewBinaryReader(&flushed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		ev, err := r.Next()
+		if err == io.EOF {
+			if i != len(events) {
+				t.Fatalf("decoded %d events, want %d", i, len(events))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != events[i].Kind || ev.Cycle != events[i].Cycle || ev.SM != events[i].SM || ev.PC != events[i].PC {
+			t.Fatalf("event %d round-tripped as %+v, want %+v", i, ev, events[i])
+		}
+	}
+}
