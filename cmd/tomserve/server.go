@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // options configures a server instance. The zero values of workers/queue/
@@ -120,19 +121,30 @@ type runRequest struct {
 	Config   string  `json:"config"`
 	Policy   string  `json:"policy,omitempty"`
 	Scale    float64 `json:"scale,omitempty"`
+	// MappingStore consults the server's persistent mapping registry for
+	// this run (core.Session.WithStoredMapping): a transparent-mapping run
+	// whose key has a stored record installs the learned bit before cycle 0
+	// instead of learning it. Opt-in per run because the install folds into
+	// the spec digest — the stored-mapping run is a different measurement
+	// than the fresh-learning run and caches under its own record.
+	MappingStore bool `json:"mapping_store,omitempty"`
 }
 
 // runResponse is one run's slot in the batch response, aligned with the
 // request order. Source reports which cache layer satisfied the run.
 type runResponse struct {
-	Workload string          `json:"workload"`
-	Config   string          `json:"config"`
-	Policy   string          `json:"policy,omitempty"`
-	Scale    float64         `json:"scale"`
-	Digest   string          `json:"digest,omitempty"`
-	Source   core.RunSource  `json:"source,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Result   *core.RunResult `json:"result,omitempty"`
+	Workload string         `json:"workload"`
+	Config   string         `json:"config"`
+	Policy   string         `json:"policy,omitempty"`
+	Scale    float64        `json:"scale"`
+	Digest   string         `json:"digest,omitempty"`
+	Source   core.RunSource `json:"source,omitempty"`
+	// Mapping reports the run's data-mapping provenance: "stored" (installed
+	// from the persistent registry), "learned" (this run's learning phase),
+	// "preset" (oracle/fixed-bit), or "baseline" (no bit mapping).
+	Mapping string          `json:"mapping,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Result  *core.RunResult `json:"result,omitempty"`
 }
 
 // batchSummary is the per-batch cache accounting (the HTTP counterpart of
@@ -143,6 +155,10 @@ type batchSummary struct {
 	Misses    int `json:"misses"`
 	Simulated int `json:"simulated"`
 	Errors    int `json:"errors"`
+	// Stored counts runs that installed a mapping from the persistent
+	// registry (omitted when zero, so batches without mapping_store runs
+	// keep the historical summary shape).
+	Stored int `json:"stored,omitempty"`
 }
 
 type batchResponse struct {
@@ -220,6 +236,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			results[i].Error = err.Error()
 			continue
 		}
+		if rr.MappingStore {
+			spec, err = sess.WithStoredMapping(spec)
+			if err != nil {
+				results[i].Error = err.Error()
+				continue
+			}
+		}
 		results[i].Digest = spec.Digest()
 		jobs = append(jobs, job{idx: i, spec: spec, scale: scale})
 	}
@@ -233,6 +256,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		results[jobs[j].idx].Source = src
+		results[jobs[j].idx].Mapping = mappingLabel(res.Stats.MappingSource)
 		results[jobs[j].idx].Result = res
 		return nil
 	})
@@ -262,11 +286,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		default:
 			sum.Hits++
 		}
+		if results[i].Mapping == sim.MappingStored {
+			sum.Stored++
+		}
 	}
 	sum.Misses = sum.Simulated + sum.Errors
 	s.reg.Counter("runs.hits").Add(uint64(sum.Hits))
 	s.reg.Counter("runs.simulated").Add(uint64(sum.Simulated))
 	s.reg.Counter("runs.errors").Add(uint64(sum.Errors))
+	if sum.Stored > 0 {
+		s.reg.Counter("runs.mapping_stored").Add(uint64(sum.Stored))
+	}
 
 	s.writeJSON(w, batchResponse{Results: results, Cache: sum})
 }
@@ -376,4 +406,14 @@ func defaultStr(s, def string) string {
 		return def
 	}
 	return s
+}
+
+// mappingLabel renders a run's mapping provenance for the batch response:
+// the simulator leaves MappingSource empty when no bit mapping was active
+// (baseline interleave throughout).
+func mappingLabel(src string) string {
+	if src == "" {
+		return "baseline"
+	}
+	return src
 }

@@ -351,3 +351,56 @@ func TestServerMetricsAndHealth(t *testing.T) {
 		t.Fatalf("/metrics counters = %+v, want one batch and one simulation", snap.Counters)
 	}
 }
+
+// TestServerMappingStoreOptIn: a mapping_store run consults the server's
+// persistent mapping registry. The first such batch learns (mapping:
+// "learned", seeding the store); a second server instance over the same
+// cache directory installs the stored bit — mapping: "stored", zero
+// learning-phase PCIe bytes, the avoided volume reported — while plain
+// batches are untouched (their digests must not change).
+func TestServerMappingStoreOptIn(t *testing.T) {
+	dir := t.TempDir()
+	plain := batchRequest{Runs: []runRequest{{Workload: "LIB", Config: "ctrl-tmap"}}}
+	opted := batchRequest{Runs: []runRequest{{Workload: "LIB", Config: "ctrl-tmap", MappingStore: true}}}
+
+	_, ts1 := newTestServer(t, options{cacheDir: dir, fingerprint: "test"})
+	_, p1, _ := postBatch(t, ts1.URL, plain)
+	if p1.Cache.Stored != 0 || p1.Results[0].Mapping != "learned" {
+		t.Fatalf("plain cold batch: stored=%d mapping=%q", p1.Cache.Stored, p1.Results[0].Mapping)
+	}
+	// The plain run already learned and seeded the registry, so the opted
+	// run on the same server installs it.
+	_, o1, _ := postBatch(t, ts1.URL, opted)
+	if o1.Results[0].Error != "" {
+		t.Fatalf("opted batch failed: %s", o1.Results[0].Error)
+	}
+	if o1.Results[0].Mapping != "stored" || o1.Cache.Stored != 1 {
+		t.Fatalf("opted batch: mapping=%q stored=%d, want a stored install",
+			o1.Results[0].Mapping, o1.Cache.Stored)
+	}
+	if o1.Results[0].Digest == p1.Results[0].Digest {
+		t.Error("stored-mapping run must not alias the fresh-learning run's digest")
+	}
+	st := &o1.Results[0].Result.Stats
+	if st.PCIeBytes != 0 || st.LearnPCIeSaved == 0 {
+		t.Errorf("stored run pcie=%d saved=%d, want 0 learning traffic and a reported saving",
+			st.PCIeBytes, st.LearnPCIeSaved)
+	}
+
+	// Restart: the registry and both cache records persist. The plain run's
+	// digest is unchanged (opt-in means existing clients see identical
+	// responses) and the opted run replays from disk, still marked stored.
+	_, ts2 := newTestServer(t, options{cacheDir: dir, fingerprint: "test"})
+	_, p2, _ := postBatch(t, ts2.URL, plain)
+	if p2.Results[0].Digest != p1.Results[0].Digest || p2.Results[0].Source != core.SourceDisk {
+		t.Fatalf("plain warm batch: digest changed or not replayed (%q)", p2.Results[0].Source)
+	}
+	_, o2, _ := postBatch(t, ts2.URL, opted)
+	if o2.Results[0].Source != core.SourceDisk || o2.Results[0].Mapping != "stored" {
+		t.Fatalf("opted warm batch: source=%q mapping=%q, want a disk replay marked stored",
+			o2.Results[0].Source, o2.Results[0].Mapping)
+	}
+	if o2.Cache.Stored != 1 {
+		t.Errorf("opted warm summary stored=%d, want 1", o2.Cache.Stored)
+	}
+}

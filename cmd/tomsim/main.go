@@ -9,6 +9,7 @@
 //	tomsim -workload LIB -trace out.jsonl -trace-sample 64
 //	tomsim -workload LIB -adapt                       # profile -> refine -> rerun
 //	tomsim -workload LIB -adapt-iterate 3             # iterate to a fixed point
+//	tomsim -workload LIB -cache -mapping-store        # install a stored data mapping
 //	tomsim -list
 //
 // -trace streams the offload lifecycle (candidate → gate/send → spawn →
@@ -35,6 +36,14 @@
 // demoted/re-tagged candidate sets stabilize or after N passes. With
 // -cache, the converged refinement persists under -cache-dir/feedback/ and
 // a later invocation installs it without profiling.
+//
+// -mapping-store consults the persistent mapping registry under
+// -cache-dir/mappings/ (see docs/RUNCACHE.md): a transparent-mapping run
+// whose (workload, data-structure identity, configuration family) key has a
+// stored record installs the learned bit before cycle 0 — no learning
+// phase, no PCIe detour, only the one-time copy — and reports the avoided
+// traffic. Fresh learning runs under -cache always seed the registry,
+// whether or not -mapping-store is set.
 package main
 
 import (
@@ -48,6 +57,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/offload"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -68,10 +78,20 @@ func main() {
 	cacheDir := flag.String("cache-dir", ".tomcache", "persistent result cache directory")
 	adapt := flag.Bool("adapt", false, "profile gate decisions, refine candidate marking, rerun")
 	adaptIterate := flag.Int("adapt-iterate", 0, "iterate profile->refine to a fixed point, bounded by N passes")
+	mapStore := flag.Bool("mapping-store", false,
+		"install the learned data mapping from the persistent registry when available (requires -cache)")
 	flag.Parse()
 
 	if *adaptIterate < 0 {
 		fatal(fmt.Errorf("-adapt-iterate must be positive"))
+	}
+	if *mapStore {
+		if !*cache || *noCache {
+			fatal(fmt.Errorf("-mapping-store requires -cache (the registry lives under -cache-dir/mappings)"))
+		}
+		if *adapt || *adaptIterate > 0 {
+			fatal(fmt.Errorf("-mapping-store is incompatible with -adapt"))
+		}
 	}
 	if (*adapt || *adaptIterate > 0) && (*tracePath != "" || *metricsPath != "") {
 		fatal(fmt.Errorf("-adapt is incompatible with -trace/-metrics"))
@@ -159,6 +179,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *mapStore {
+			spec, err = s.WithStoredMapping(spec)
+			if err != nil {
+				fatal(err)
+			}
+		}
 		r, err := s.RunSpecObserved(spec, observer)
 		if err != nil {
 			fatal(err)
@@ -213,6 +239,10 @@ func main() {
 		fmt.Printf("tmap learning  bit %d from %d instances in %d cycles; %d bytes re-mapped\n",
 			st.LearnedBit, st.LearnInstances, st.LearnCycles, st.CopiedBytes)
 	}
+	if st.MappingSource == sim.MappingStored {
+		fmt.Printf("tmap stored    bit %d installed from the registry (%d ranges); %d bytes copied, %d PCIe bytes saved\n",
+			st.LearnedBit, len(st.MappedRanges), st.CopiedBytes, st.LearnPCIeSaved)
+	}
 	if adaptive != nil {
 		// Report from the merged table, which exists whether the feedback
 		// was profiled this process or restored from the persisted store.
@@ -259,6 +289,11 @@ func main() {
 		fs := s.FeedbackStats()
 		fmt.Fprintf(os.Stderr, "feedback: hits=%d misses=%d iterations=%d converged=%d\n",
 			fs.StoreHits, fs.StoreMisses, fs.Iterations, fs.Converged)
+	}
+	if *mapStore {
+		ms := s.MappingStats()
+		fmt.Fprintf(os.Stderr, "mapping: hits=%d misses=%d writes=%d saved_bytes=%d\n",
+			ms.StoreHits, ms.StoreMisses, ms.StoreWrites, ms.SavedBytes)
 	}
 }
 

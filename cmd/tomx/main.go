@@ -7,10 +7,14 @@
 //	tomx -exp fig9 -trace fig9.trace -trace-format binary -trace-sample 16
 //	tomx -exp adapt                       # static vs. gate-feedback-refined control
 //	tomx -exp adapt -iterate 3            # iterate feedback to a fixed point
+//	tomx -exp mapstore -cache             # TOM with the persistent mapping registry
 //	tomx -markdown                        # emit EXPERIMENTS.md-style markdown
 //
-// -trace captures the offload lifecycle of every Fig. 9 run (baseline plus
-// the four policies) into one stream, each event stamped with its
+// -metrics and -trace work with any simulated experiment (-exp fig2..fig13,
+// xstack, coherence, policies, mapstore): after the table, the experiment's
+// configurations (plus the baseline) rerun with observers attached and the
+// per-interval metric snapshots are exported. -trace captures every run's
+// offload lifecycle into one stream, each event stamped with its
 // "ABBR/config" run label; -trace-format binary selects the compact
 // encoding (decode or convert with cmd/tomtrace) and -trace-sample N thins
 // to one event in N per kind per run, with trace_sampled summaries saying
@@ -23,6 +27,13 @@
 // persists (under -cache-dir/feedback/), so a later invocation installs the
 // stored gate table without re-profiling at all; the "feedback:" summary
 // line reports store hits/misses, iterations, and convergences.
+//
+// -exp mapstore exercises the persistent mapping registry: with -cache, the
+// first invocation learns each workload's transparent mapping and seeds
+// -cache-dir/mappings/; a second invocation installs every stored bit
+// before cycle 0 ("stored" row = 1) with zero learning-phase PCIe traffic,
+// and the "mapping:" summary line reports store hits/misses/writes and the
+// PCIe bytes saved.
 package main
 
 import (
@@ -52,11 +63,8 @@ func main() {
 	iterate := flag.Int("iterate", 0, "with -exp adapt: iterate profile->refine to a fixed point, bounded by N passes")
 	flag.Parse()
 
-	if *metrics != "" && *exp != "fig9" {
-		fatal(fmt.Errorf("-metrics is the time-resolved Fig. 9 export; use it with -exp fig9"))
-	}
-	if *trace != "" && *exp != "fig9" {
-		fatal(fmt.Errorf("-trace is the Fig. 9 lifecycle export; use it with -exp fig9"))
+	if (*metrics != "" || *trace != "") && *exp == "all" {
+		fatal(fmt.Errorf("-metrics/-trace export one experiment's timeline; pick it with -exp"))
 	}
 	if *iterate < 0 {
 		fatal(fmt.Errorf("-iterate must be positive"))
@@ -123,7 +131,7 @@ func main() {
 			traceFile = f
 			sink = obs.NewSink(f, format)
 		}
-		snaps, err := s.Fig9Timeline(*interval, sink, *traceSample)
+		snaps, err := s.Timeline(*exp, *interval, sink, *traceSample)
 		if err != nil {
 			fatal(err)
 		}
@@ -161,6 +169,13 @@ func main() {
 		fs := s.FeedbackStats()
 		fmt.Fprintf(os.Stderr, "feedback: hits=%d misses=%d iterations=%d converged=%d\n",
 			fs.StoreHits, fs.StoreMisses, fs.Iterations, fs.Converged)
+	}
+	if *exp == "mapstore" {
+		// Machine-parseable summary: the CI mapping-store replay job asserts
+		// hits>0 and saved_bytes>0 on the second pass.
+		ms := s.MappingStats()
+		fmt.Fprintf(os.Stderr, "mapping: hits=%d misses=%d writes=%d saved_bytes=%d\n",
+			ms.StoreHits, ms.StoreMisses, ms.StoreWrites, ms.SavedBytes)
 	}
 }
 

@@ -174,6 +174,7 @@ type Session struct {
 
 	cache    *DiskCache     // nil = persistent layer disabled
 	feedback *FeedbackStore // nil = persisted adaptive feedback disabled
+	mappings *MappingStore  // nil = persisted learned mappings disabled
 	obsv     *obs.Observer  // nil = session-level observability disabled
 
 	mu       sync.Mutex
@@ -185,6 +186,7 @@ type Session struct {
 	runKeys  map[string]string     // digest -> "ABBR/config" (diagnostics)
 	stats    CacheStats
 	fb       FeedbackStats
+	ms       MappingStats
 
 	// profSessions holds lazily-created reduced-scale sub-sessions used by
 	// RunAdaptive's profiling pass, keyed by profile fraction. They share
@@ -211,9 +213,10 @@ func NewSession(opts Options) *Session {
 	}
 	if opts.CacheDir != "" {
 		s.cache = NewDiskCache(opts.CacheDir, opts.Fingerprint)
-		// Converged adaptive refinements persist beside the run records,
-		// under the same fingerprint gate (see docs/RUNCACHE.md).
+		// Converged adaptive refinements and learned mappings persist beside
+		// the run records, under the same fingerprint gate (docs/RUNCACHE.md).
 		s.feedback = NewFeedbackStore(filepath.Join(opts.CacheDir, "feedback"), opts.Fingerprint)
+		s.mappings = NewMappingStore(filepath.Join(opts.CacheDir, "mappings"), opts.Fingerprint)
 	}
 	s.obsv = opts.Obs
 	return s
@@ -542,6 +545,16 @@ func (s *Session) runUncached(spec RunSpec, o *obs.Observer, prep func(*sim.Syst
 		bit, _ := prof.OracleBit()
 		sys.ApplyMappingBit(bit)
 	}
+	if mi := spec.MapInstall; mi != nil {
+		// Pre-install the stored mapping before cycle 0: the run starts with
+		// the learned bit resident and no learning phase. A record that no
+		// longer matches the instance (renamed/removed range, bad bit) fails
+		// the run loudly — WithStoredMapping's validity gates should make
+		// that unreachable, but a wrong mapping must never run silently.
+		if err := sys.InstallMapping(mi.Bit, mi.Ranges, mi.SavedPCIe); err != nil {
+			return nil, fmt.Errorf("%s: %w", spec.Key(), err)
+		}
+	}
 	if prep != nil {
 		prep(sys)
 	}
@@ -564,6 +577,9 @@ func (s *Session) runUncached(spec RunSpec, o *obs.Observer, prep func(*sim.Syst
 	}
 	res := &RunResult{Abbr: abbr, Config: spec.Config, Stats: *sys.Stats()}
 	res.Energy = energy.Compute(&res.Stats, cfg, energy.DefaultParams())
+	// A verified run that learned its mapping this run seeds the persistent
+	// registry ("map once, stay resident") for later sessions.
+	s.storeLearnedMapping(spec, res)
 	return res, nil
 }
 

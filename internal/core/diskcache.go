@@ -23,7 +23,11 @@ import (
 // v4: exact quiescence detection (cycle counts no longer overshoot drain by
 // up to 63 cycles) and window-boundary-exact channel-busy reads — v3 cycle
 // counts and gate decisions describe the old loop.
-const cacheSchemaVersion = "tomcache/v4"
+// v5: Stats grew the mapping-provenance fields (MappingSource, MappedRanges,
+// LearnPCIeSaved) and endLearning skips the copy/invalidate/freeze when the
+// chosen mapping is already in force — v4 records would replay without the
+// provenance the mapping registry and reports read.
+const cacheSchemaVersion = "tomcache/v5"
 
 // BuildFingerprint identifies the producing build: the cache schema version
 // plus, when the binary carries VCS stamps, the revision and dirty flag.

@@ -213,6 +213,41 @@ func (r *Runner) Fig9() (*Table, error) {
 }
 
 // Fig9Timeline reruns the Fig. 9 configurations (plus the baseline) with
+// observers attached — the historical name for Timeline("fig9", ...).
+func (r *Runner) Fig9Timeline(interval int64, trace obs.EventSink, traceSample int) (map[string]*obs.Snapshot, error) {
+	return r.Timeline("fig9", interval, trace, traceSample)
+}
+
+// experimentConfigs maps an experiment ID to the simulator configurations
+// its table compares. The baseline is excluded (Timeline always adds it);
+// profile- or estimate-based experiments (fig5, fig6, area) and the
+// adaptive loop (adapt, whose passes are not plain configurations) have no
+// timeline and return an error.
+func experimentConfigs(id string) ([]ConfigName, error) {
+	switch id {
+	case "fig2":
+		return []ConfigName{CfgIdeal}, nil
+	case "fig3":
+		return []ConfigName{CfgCtrlBmap, CfgCtrlOracle}, nil
+	case "fig8", "fig9", "fig10":
+		return fig9Configs(), nil
+	case "fig11", "fig12":
+		return []ConfigName{CfgNoCtrlTmap, CfgCtrlTmap, CfgWarp2x, CfgWarp4x}, nil
+	case "fig13":
+		return []ConfigName{CfgCtrlTmap, CfgInternal1x}, nil
+	case "xstack":
+		return []ConfigName{CfgCross0125, CfgCross025, CfgCtrlTmap, CfgCross100}, nil
+	case "coherence":
+		return []ConfigName{CfgCtrlTmap, CfgNoCoherence}, nil
+	case "policies":
+		return []ConfigName{CfgCtrlTmap, CfgIdeal, CfgCoda, CfgMPU}, nil
+	case "mapstore":
+		return []ConfigName{CfgCtrlTmap}, nil
+	}
+	return nil, fmt.Errorf("core: experiment %q has no timeline (no simulated configurations)", id)
+}
+
+// Timeline reruns an experiment's configurations (plus the baseline) with
 // observers attached and returns per-interval metric snapshots — the
 // off-chip traffic breakdown over time rather than as end-of-run totals —
 // keyed "ABBR/config". interval is the sampling period in cycles (0 =
@@ -222,11 +257,20 @@ func (r *Runner) Fig9() (*Table, error) {
 //
 // trace, when non-nil, receives every run's lifecycle events, stamped with
 // the "ABBR/config" run label and thinned to one in traceSample per kind
-// per run when traceSample > 1 (tomx -exp fig9 -trace). The caller owns
-// the sink and flushes it after the call returns.
-func (r *Runner) Fig9Timeline(interval int64, trace obs.EventSink, traceSample int) (map[string]*obs.Snapshot, error) {
+// per run when traceSample > 1 (tomx -trace). The caller owns the sink and
+// flushes it after the call returns.
+func (r *Runner) Timeline(id string, interval int64, trace obs.EventSink, traceSample int) (map[string]*obs.Snapshot, error) {
+	cfgs, err := experimentConfigs(id)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[ConfigName]bool{}
 	var pairs []Pair
-	for _, cfg := range append([]ConfigName{CfgBaseline}, fig9Configs()...) {
+	for _, cfg := range append([]ConfigName{CfgBaseline}, cfgs...) {
+		if seen[cfg] {
+			continue
+		}
+		seen[cfg] = true
 		for _, abbr := range Abbrs() {
 			pairs = append(pairs, Pair{Abbr: abbr, Config: cfg})
 		}
@@ -335,6 +379,60 @@ func (r *Runner) Policies() (*Table, error) {
 		}
 		t.Rows = append(t.Rows, Row{Label: pc.label + " offloaded%", Values: withAvg(vals, Mean)})
 	}
+	return t, nil
+}
+
+// MapStore reports the persistent mapping registry's effect on the TOM
+// configuration: each workload's ctrl-tmap run consults the session's
+// mapping store (WithStoredMapping) and, on a hit, installs the stored bit
+// before cycle 0 instead of learning it — zero learning-phase PCIe traffic,
+// with the avoided volume reported as learn.pcie_bytes_saved. A cold store
+// (or a session without -cache) learns fresh everywhere and seeds the store;
+// rerunning the experiment then shows every workload installed ("stored"
+// row = 1) with "learn PCIe MB" = 0.
+func (r *Runner) MapStore() (*Table, error) {
+	t := &Table{
+		ID: "mapstore", Title: "Persistent mapping registry: TOM with stored mappings installed",
+		Columns: workloadColumns(),
+		Notes: []string{
+			"stored: 1 = bit installed from the registry (map once, stay resident), 0 = learned this run",
+			"cold sessions learn and seed the store; warm sessions install and skip the PCIe detour",
+		},
+	}
+	var speed, pcie, saved, stored []float64
+	const mb = 1 << 20
+	for _, abbr := range Abbrs() {
+		b, err := r.Run(abbr, CfgBaseline)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := r.Spec(abbr, CfgCtrlTmap)
+		if err != nil {
+			return nil, err
+		}
+		spec, err = r.WithStoredMapping(spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.RunSpecExact(spec)
+		if err != nil {
+			return nil, err
+		}
+		speed = append(speed, res.Stats.IPC()/b.Stats.IPC())
+		pcie = append(pcie, float64(res.Stats.PCIeBytes)/mb)
+		saved = append(saved, float64(res.Stats.LearnPCIeSaved)/mb)
+		if spec.MapInstall != nil {
+			stored = append(stored, 1)
+		} else {
+			stored = append(stored, 0)
+		}
+	}
+	t.Rows = append(t.Rows,
+		Row{Label: "speedup", Values: withAvg(speed, GeoMean)},
+		Row{Label: "learn PCIe MB", Values: withAvg(pcie, Mean)},
+		Row{Label: "saved PCIe MB", Values: withAvg(saved, Mean)},
+		Row{Label: "stored", Values: withAvg(stored, Mean)},
+	)
 	return t, nil
 }
 
@@ -487,7 +585,7 @@ func (r *Runner) AllExperiments() ([]*Table, error) {
 		{"fig8", r.Fig8}, {"fig9", r.Fig9}, {"fig10", r.Fig10},
 		{"fig11", r.Fig11}, {"fig12", r.Fig12}, {"fig13", r.Fig13},
 		{"xstack", r.CrossStackSweep}, {"coherence", r.CoherenceOverhead},
-		{"policies", r.Policies}, {"adapt", r.Adapt},
+		{"policies", r.Policies}, {"adapt", r.Adapt}, {"mapstore", r.MapStore},
 	}
 	if err := r.Warm(FullMatrix()); err != nil {
 		return nil, err
@@ -536,6 +634,8 @@ func (r *Runner) Experiment(id string) (*Table, error) {
 		return r.Policies()
 	case "adapt":
 		return r.Adapt()
+	case "mapstore":
+		return r.MapStore()
 	case "area":
 		return AreaTable(), nil
 	}
@@ -545,5 +645,6 @@ func (r *Runner) Experiment(id string) (*Table, error) {
 // ExperimentIDs lists all experiment identifiers in paper order.
 func ExperimentIDs() []string {
 	return []string{"fig2", "fig3", "fig5", "fig6", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "xstack", "coherence", "policies", "adapt", "area"}
+		"fig11", "fig12", "fig13", "xstack", "coherence", "policies", "adapt",
+		"mapstore", "area"}
 }

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/mapping"
+	"repro/internal/sim"
+)
+
+// MappingRecord is the on-disk form of one converged transparent-mapping
+// learning phase: the fingerprint gate, a human-readable restatement of the
+// key (the digest in the filename is authoritative), the learned mapping
+// itself (bit + the allocation ranges it covers), and the learning-phase
+// cost a later install avoids. A session that derives the same key installs
+// Bit/Ranges at construction — no learning phase, no PCIe detour.
+type MappingRecord struct {
+	Fingerprint string  `json:"fingerprint"`
+	Workload    string  `json:"workload"`
+	Scale       float64 `json:"scale"`
+	// Structure is the data-structure identity (mapping.StructureID) the bit
+	// was learned on; a workload whose allocation layout changed derives a
+	// different key and never sees this record.
+	Structure string `json:"structure"`
+	// Family is the canonical learning-relevant configuration (learnFamily):
+	// configurations that differ only in post-learning parameters share it.
+	Family string `json:"family"`
+
+	Bit    int      `json:"bit"`
+	Ranges []string `json:"ranges"`
+
+	// Learning-phase cost of the run that produced the record — what a
+	// stored install avoids (LearnPCIeBytes) or repeats (CopiedBytes).
+	CopiedBytes    uint64 `json:"copied_bytes"`
+	LearnPCIeBytes uint64 `json:"learn_pcie_bytes"`
+	LearnInstances int    `json:"learn_instances"`
+	LearnCycles    int64  `json:"learn_cycles"`
+}
+
+// MappingStore persists learned transparent mappings, one JSON record per
+// (workload, scale, data-structure identity, learning-relevant configuration
+// family) key under dir — conventionally <cache-dir>/mappings/. It follows
+// the DiskCache contract exactly: writes are atomic (temp file + rename),
+// and a missing, torn, stale-build, or structurally invalid record degrades
+// to a miss — fresh learning — never to a wrong mapping.
+type MappingStore struct {
+	dir         string
+	fingerprint string
+}
+
+// NewMappingStore opens (creating on first Put) a store rooted at dir.
+// fingerprint gates record validity; pass "" for BuildFingerprint().
+func NewMappingStore(dir, fingerprint string) *MappingStore {
+	if fingerprint == "" {
+		fingerprint = BuildFingerprint()
+	}
+	return &MappingStore{dir: dir, fingerprint: fingerprint}
+}
+
+// Dir returns the store root.
+func (m *MappingStore) Dir() string { return m.dir }
+
+// path returns the record file for a key digest.
+func (m *MappingStore) path(key string) string {
+	return filepath.Join(m.dir, key+".json")
+}
+
+// Get loads the record for a key. A missing file, unreadable record,
+// fingerprint mismatch, out-of-range bit, or empty range list is a miss
+// (false); only unexpected I/O failures surface as errors. The validity
+// checks matter: installing a malformed mapping would place data wrongly,
+// which is strictly worse than re-learning.
+func (m *MappingStore) Get(key string) (*MappingRecord, bool, error) {
+	data, err := os.ReadFile(m.path(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("mapping store: read %s: %w", key, err)
+	}
+	var rec MappingRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false, nil // torn/corrupt record: re-learn and overwrite
+	}
+	if rec.Fingerprint != m.fingerprint {
+		return nil, false, nil // stale build: self-invalidate
+	}
+	if rec.Bit < mapping.MinBit || rec.Bit > mapping.MaxBit || len(rec.Ranges) == 0 {
+		return nil, false, nil // structurally invalid: never install
+	}
+	return &rec, true, nil
+}
+
+// Put stores a record under key. The fingerprint is stamped here; the
+// write is atomic, so concurrent writers of the same key and readers in
+// other processes always see a complete record.
+func (m *MappingStore) Put(key string, rec *MappingRecord) error {
+	if err := os.MkdirAll(m.dir, 0o755); err != nil {
+		return fmt.Errorf("mapping store: %w", err)
+	}
+	stamped := *rec
+	stamped.Fingerprint = m.fingerprint
+	data, err := json.MarshalIndent(&stamped, "", " ")
+	if err != nil {
+		return fmt.Errorf("mapping store: encode %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(m.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("mapping store: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("mapping store: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("mapping store: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), m.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("mapping store: commit %s: %w", key, err)
+	}
+	return nil
+}
+
+// learnFamily canonicalizes the learning-relevant subset of a configuration:
+// parameters that cannot influence the learning phase are normalized to the
+// Table 1 defaults before rendering, so configurations that differ only
+// post-learning (offload control mode and its gates, stack-side capacity and
+// bandwidth knobs, the coherence protocol, run limits) share one stored
+// mapping. The exclusions are safe by construction: during learning every
+// L2 miss routes over the PCIe path and no offloads are in flight, so the
+// stacks, their links, and the offload gates are completely idle — they
+// cannot affect which instances the analyzer observes or the bit it picks.
+// Every other parameter (GPU organization, cache geometry, PCIe model,
+// learning-phase tunables, the offload policy's candidate selection) stays,
+// erring toward fragmentation — an unnecessary miss re-learns; a wrong hit
+// would misplace data.
+func learnFamily(cfg sim.Config) string {
+	f := cfg
+	f.Observer = nil
+	d := sim.DefaultConfig()
+	f.Offload = d.Offload
+	f.BusyThreshold = d.BusyThreshold
+	f.ALUGate = d.ALUGate
+	f.Coherence = d.Coherence
+	f.StackWarpMult = d.StackWarpMult
+	f.InternalBWRatio = d.InternalBWRatio
+	f.CrossStackBW = d.CrossStackBW
+	f.FixedBit = d.FixedBit
+	f.MaxCycles = d.MaxCycles
+	return f.Canonical()
+}
+
+// mappingKey digests one mapping-store identity.
+func mappingKey(abbr string, scale float64, structure, family string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "workload=%s;scale=%v;structure=%s;family=%s", abbr, scale, structure, family)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MappingStats summarizes a session's persistent-mapping activity. The same
+// quantities are exported as obs counters (mapping.store_hits,
+// mapping.store_misses, mapping.store_writes, learn.pcie_bytes_saved) when
+// the session carries an observer.
+type MappingStats struct {
+	StoreHits   uint64 // specs that installed a stored mapping
+	StoreMisses uint64 // consults that found no usable record
+	StoreWrites uint64 // learned mappings persisted
+	SavedBytes  uint64 // learning-phase PCIe bytes avoided by installs
+}
+
+// MappingStats reports the session's persistent-mapping activity.
+func (s *Session) MappingStats() MappingStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ms
+}
+
+// MappingDir returns the persistent mapping-store root ("" when disabled).
+func (s *Session) MappingDir() string {
+	if s.mappings == nil {
+		return ""
+	}
+	return s.mappings.Dir()
+}
+
+// countMapping records mapping-store consults (and the PCIe savings a hit
+// locks in).
+func (s *Session) countMapping(hits, misses, saved uint64) {
+	s.mu.Lock()
+	s.ms.StoreHits += hits
+	s.ms.StoreMisses += misses
+	s.ms.SavedBytes += saved
+	s.mu.Unlock()
+	if s.obsv != nil {
+		if hits > 0 {
+			s.obsv.Registry.Counter("mapping.store_hits").Add(hits)
+		}
+		if misses > 0 {
+			s.obsv.Registry.Counter("mapping.store_misses").Add(misses)
+		}
+		if saved > 0 {
+			s.obsv.Registry.Counter("learn.pcie_bytes_saved").Add(saved)
+		}
+	}
+}
+
+// countMappingWrite records one learned mapping persisted to the store.
+func (s *Session) countMappingWrite() {
+	s.mu.Lock()
+	s.ms.StoreWrites++
+	s.mu.Unlock()
+	if s.obsv != nil {
+		s.obsv.Registry.Counter("mapping.store_writes").Inc()
+	}
+}
+
+// WithStoredMapping consults the persistent mapping registry for a resolved
+// spec and, on a hit, returns the spec with the stored mapping folded in as
+// a pre-install (RunSpec.MapInstall): the run then starts with the learned
+// bit resident — no learning phase, no PCIe detour — charging only the
+// one-time copy. Anything that prevents a safe install (store disabled,
+// non-transparent mapping mode, no record, stale or corrupt record) returns
+// the spec unchanged, degrading to fresh learning. The fold participates in
+// the run digest, so stored-mapping runs never alias fresh-learning runs in
+// any cache layer.
+func (s *Session) WithStoredMapping(spec RunSpec) (RunSpec, error) {
+	if s.mappings == nil || spec.MapInstall != nil || spec.Cfg.Mapping != sim.MapTransparent {
+		return spec, nil
+	}
+	in, err := s.instance(spec.Abbr)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	key := mappingKey(spec.Abbr, spec.Scale, mapping.StructureID(in.Alloc), learnFamily(spec.Cfg))
+	rec, ok, err := s.mappings.Get(key)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	if !ok {
+		s.countMapping(0, 1, 0)
+		return spec, nil
+	}
+	s.countMapping(1, 0, rec.LearnPCIeBytes)
+	spec.MapInstall = &MapInstallSpec{
+		Bit:       rec.Bit,
+		Ranges:    append([]string(nil), rec.Ranges...),
+		SavedPCIe: rec.LearnPCIeBytes,
+		Structure: rec.Structure,
+	}
+	return spec, nil
+}
+
+// storeLearnedMapping persists the learned mapping of a freshly simulated,
+// verified run. Only genuine learning results are stored: the run must have
+// learned its bit this run (not installed or preset), with a valid bit and
+// at least one mapped range. Write failures cost future installs, not
+// correctness, so they are logged and swallowed like DiskCache put failures.
+func (s *Session) storeLearnedMapping(spec RunSpec, res *RunResult) {
+	if s.mappings == nil || spec.MapInstall != nil {
+		return
+	}
+	st := &res.Stats
+	if st.MappingSource != sim.MappingLearned || st.LearnedBit < mapping.MinBit ||
+		st.LearnedBit > mapping.MaxBit || len(st.MappedRanges) == 0 {
+		return
+	}
+	in, err := s.instance(spec.Abbr)
+	if err != nil {
+		return
+	}
+	structure := mapping.StructureID(in.Alloc)
+	key := mappingKey(spec.Abbr, spec.Scale, structure, learnFamily(spec.Cfg))
+	rec := &MappingRecord{
+		Workload:       spec.Abbr,
+		Scale:          spec.Scale,
+		Structure:      structure,
+		Family:         learnFamily(spec.Cfg),
+		Bit:            st.LearnedBit,
+		Ranges:         append([]string(nil), st.MappedRanges...),
+		CopiedBytes:    st.CopiedBytes,
+		LearnPCIeBytes: st.PCIeBytes,
+		LearnInstances: st.LearnInstances,
+		LearnCycles:    st.LearnCycles,
+	}
+	if err := s.mappings.Put(key, rec); err != nil {
+		s.logf("mapping store: %v", err)
+		return
+	}
+	s.countMappingWrite()
+}

@@ -29,6 +29,25 @@ type RunSpec struct {
 	// configuration are different measurements and must never share a
 	// cache record.
 	Adapt *AdaptSpec
+	// MapInstall, when non-nil, pre-installs a stored transparent mapping at
+	// system construction instead of running a learning phase (see
+	// MappingStore / Session.WithStoredMapping). Every field folds into the
+	// digest: a stored-mapping run and the fresh-learning run of the same
+	// configuration are different measurements (no learning-phase PCIe
+	// detour) and must never share a cache record.
+	MapInstall *MapInstallSpec
+}
+
+// MapInstallSpec carries a stored mapping into a run: the learned bit, the
+// allocation ranges it covers, the learning-phase PCIe byte volume the
+// install avoids (reported as Stats.LearnPCIeSaved), and the data-structure
+// identity the record was keyed by (diagnostics; the install itself
+// re-resolves ranges by name and fails loudly on a layout change).
+type MapInstallSpec struct {
+	Bit       int
+	Ranges    []string
+	SavedPCIe uint64
+	Structure string
 }
 
 // NewRunSpec resolves a named configuration into a canonical spec.
@@ -76,6 +95,12 @@ func (sp RunSpec) Digest() string {
 		fmt.Fprintf(h, "adapt=frac:%v,demote:%v,mindec:%d,cost:%+v,iters:%d,iter:%d,feedback:%s;",
 			a.ProfileFrac, a.DemoteGateRate, a.MinDecisions, a.Cost,
 			a.Iterations, a.Iteration, a.FeedbackDigest)
+	}
+	if mi := sp.MapInstall; mi != nil {
+		// Every install parameter participates — two installs differing in
+		// bit, coverage, or provenance are different runs.
+		fmt.Fprintf(h, "mapinstall=bit:%d,ranges:%q,saved:%d,structure:%s;",
+			mi.Bit, mi.Ranges, mi.SavedPCIe, mi.Structure)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -1,0 +1,26 @@
+package mapping
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// StructureID digests the data-structure identity of a workload instance:
+// the name, base, and size of every allocation, in allocation order. Two
+// instances with the same ID expose the same address layout to the mapping
+// machinery, so a bit learned on one is valid for the other — the key the
+// persistent mapping registry ("map once, stay resident") uses to decide
+// whether a stored mapping still describes the data it was learned on.
+//
+// Learning-time flags (CandidateTouched, OffloadMapped) are deliberately
+// excluded: they are outputs of a run, not identity of the data structures.
+func StructureID(t *mem.AllocTable) string {
+	h := sha256.New()
+	for _, r := range t.Ranges {
+		fmt.Fprintf(h, "%s@%#x+%#x;", r.Name, r.Base, r.Size)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

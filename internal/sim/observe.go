@@ -42,6 +42,9 @@ type obsState struct {
 	skipNoDest, skipDestBound              *obs.Counter
 	skipSplit, skipVaultFull               *obs.Counter
 	invalidates, drainStalls, spawnCounter *obs.Counter
+	// pcieSaved accumulates learning-phase PCIe bytes avoided by installing
+	// a stored mapping (Stats.LearnPCIeSaved); only InstallMapping adds.
+	pcieSaved *obs.Counter
 }
 
 // newObsState resolves every handle against the observer's registry.
@@ -77,6 +80,7 @@ func newObsState(cfg *Config) *obsState {
 		invalidates:   reg.Counter("coherence.invalidates"),
 		drainStalls:   reg.Counter("offload.drain_stalls"),
 		spawnCounter:  reg.Counter("offload.spawns"),
+		pcieSaved:     reg.Counter("learn.pcie_bytes_saved"),
 	}
 	for s := 0; s < cfg.Stacks; s++ {
 		id := strconv.Itoa(s)

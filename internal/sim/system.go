@@ -155,15 +155,65 @@ func (sys *System) Analyzer() *mapping.Analyzer { return sys.analyzer }
 
 // ApplyMappingBit pre-activates a consecutive-bit mapping for all ranges
 // flagged CandidateTouched in the allocation table (oracle/fixed-bit runs
-// skip the learning phase — the mapping is in force from cycle 0).
+// skip the learning phase — the mapping is in force from cycle 0, for free).
 func (sys *System) ApplyMappingBit(bit int) {
 	sys.offloadBit = bit
 	sys.stats.LearnedBit = bit
+	sys.stats.MappingSource = MappingPreset
 	for i := range sys.alloc.Ranges {
 		if sys.alloc.Ranges[i].CandidateTouched {
 			sys.alloc.Ranges[i].OffloadMapped = true
+			sys.stats.MappedRanges = append(sys.stats.MappedRanges, sys.alloc.Ranges[i].Name)
 		}
 	}
+}
+
+// InstallMapping pre-installs a previously learned mapping before cycle 0:
+// the named ranges get the consecutive-bit mapping and the one-time
+// host→device copy is charged, but no learning phase runs — so a stored-
+// mapping run generates zero learning-phase PCIe traffic (routeLoad/
+// routeStore only take the PCIe path while learning). This is the "map
+// once, stay resident" entry path, distinct from both bmap (no bit mapping)
+// and the free preset modes (oracle/fixed-bit charge no copy at all).
+// savedPCIe is the learning-phase PCIe byte volume the original fresh run
+// paid, reported as Stats.LearnPCIeSaved. An unknown range name means the
+// mapping describes different data structures and is rejected — installing
+// it partially could place data wrongly, which a caller must treat as a
+// store miss, never a degraded install.
+func (sys *System) InstallMapping(bit int, ranges []string, savedPCIe uint64) error {
+	if sys.cfg.Mapping != MapTransparent {
+		return fmt.Errorf("sim: stored mappings install only on transparent-mapping systems (have mode %d)", sys.cfg.Mapping)
+	}
+	if bit < mapping.MinBit || bit > mapping.MaxBit {
+		return fmt.Errorf("sim: stored mapping bit %d outside [%d, %d]", bit, mapping.MinBit, mapping.MaxBit)
+	}
+	var copied uint64
+	resolved := make([]*mem.Range, 0, len(ranges))
+	for _, name := range ranges {
+		r, err := sys.alloc.Lookup(name)
+		if err != nil {
+			return fmt.Errorf("sim: stored mapping: %w", err)
+		}
+		resolved = append(resolved, r)
+		copied += r.Size
+	}
+	for _, r := range resolved {
+		r.CandidateTouched = true
+		r.OffloadMapped = true
+	}
+	sys.offloadBit = bit
+	sys.learning = false // the stored bit replaces the learning phase
+	sys.stats.LearnedBit = bit
+	sys.stats.CopiedBytes += copied
+	sys.stats.MappingSource = MappingStored
+	sys.stats.MappedRanges = append([]string(nil), ranges...)
+	sys.stats.LearnPCIeSaved = savedPCIe
+	if sys.ob != nil {
+		sys.ob.pcieSaved.Add(savedPCIe)
+		sys.ob.o.Emit(obs.Event{Cycle: sys.now, Kind: obs.EvMapInstall,
+			N: len(ranges), Bit: obs.BitValue(bit)})
+	}
+	return nil
 }
 
 // stackOf maps a line address to its memory stack under the currently
@@ -285,13 +335,31 @@ func (sys *System) endLearning() {
 		return
 	}
 	bit := sys.analyzer.BestBit()
+	// The copy only moves ranges whose placement actually changes: a range
+	// already carrying this exact bit mapping (a pre-installed one — e.g. a
+	// stored mapping installed while learning was left running) stays put.
+	var moved uint64
+	for i := range sys.alloc.Ranges {
+		r := &sys.alloc.Ranges[i]
+		if !r.CandidateTouched {
+			continue
+		}
+		if !(r.OffloadMapped && sys.offloadBit == bit) {
+			moved += r.Size
+		}
+		r.OffloadMapped = true
+		sys.stats.MappedRanges = append(sys.stats.MappedRanges, r.Name)
+	}
 	sys.offloadBit = bit
 	sys.stats.LearnedBit = bit
-	for i := range sys.alloc.Ranges {
-		if sys.alloc.Ranges[i].CandidateTouched {
-			sys.alloc.Ranges[i].OffloadMapped = true
-			sys.stats.CopiedBytes += sys.alloc.Ranges[i].Size
-		}
+	sys.stats.MappingSource = MappingLearned
+	sys.stats.CopiedBytes += moved
+	if moved == 0 {
+		// The chosen mapping was already in force for every touched range:
+		// no data moved, so there is nothing to invalidate and no
+		// interrupt/drain pause to charge (satellite of ISSUE 9 — the old
+		// code froze the GPU for 1000 cycles over a no-op copy).
+		return
 	}
 	for _, sm := range sys.sms {
 		sm.l1.InvalidateAll()
@@ -353,6 +421,14 @@ func (sys *System) RunWithTrace(launches []exec.Launch, trace func(now int64)) e
 	}
 	for i, l := range launches {
 		if err := sys.runLaunch(l); err != nil {
+			// A truncated run (MaxCycles, or any launch failure) must still
+			// close an open learning phase: without this, the stats said
+			// LearnInstances=0/LearnCycles=0 while learn.instances_seen had
+			// been sampling real observations, breaking the series'
+			// conservation against the end-of-run totals.
+			if sys.learning {
+				sys.endLearning()
+			}
 			sys.finalizeStats()
 			return fmt.Errorf("sim: launch %d (%s): %w", i, l.Kernel.Name, err)
 		}

@@ -222,6 +222,16 @@ func TestEventLoopMatchesPerCycleStats(t *testing.T) {
 			return c
 		}},
 		{"ctrl-tmap", DefaultConfig},
+		// The watchdog closes learning at the deadline here (the instance
+		// goal is out of reach), so the cell exercises the deadline entry in
+		// the event loop's wake horizon: a jump past it would end learning
+		// late and shift every downstream statistic.
+		{"ctrl-tmap-deadline", func() Config {
+			c := DefaultConfig()
+			c.LearnMin = 1 << 30
+			c.LearnDeadline = 2500
+			return c
+		}},
 	}
 	for _, w := range workloads.All() {
 		inst, err := w.Build(0.03)

@@ -136,7 +136,8 @@ func RunAdaptiveIterated(abbr string, system System, scale float64, o AdaptOptio
 
 // Experiment reproduces one of the paper's figures/tables by ID: "fig2",
 // "fig3", "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
-// "fig13", "xstack", "coherence", "policies", "adapt", or "area".
+// "fig13", "xstack", "coherence", "policies", "adapt", "mapstore", or
+// "area".
 func Experiment(id string, scale float64) (*Table, error) {
 	r := core.NewRunner(scale)
 	return r.Experiment(id)

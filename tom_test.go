@@ -10,8 +10,8 @@ func TestPublicAPISurface(t *testing.T) {
 	if len(WorkloadAbbrs()) != 10 {
 		t.Fatalf("WorkloadAbbrs() wrong length")
 	}
-	if got := len(ExperimentIDs()); got != 15 {
-		t.Errorf("ExperimentIDs() = %d, want 15", got)
+	if got := len(ExperimentIDs()); got != 16 {
+		t.Errorf("ExperimentIDs() = %d, want 16", got)
 	}
 	cfg := DefaultConfig()
 	if cfg.MainSMs != 64 || cfg.Stacks != 4 {
