@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -50,12 +51,18 @@ var fig9Configs = []core.ConfigName{
 	core.CfgCtrlTmap,
 }
 
-// Cell is one (workload, config, loop-mode) measurement.
+// Cell is one (workload, config, loop-mode) measurement. Ticked/Skipped
+// split the simulated cycles into ones the loop actually stepped versus
+// ones it jumped over, so a speedup change can be attributed to either the
+// model getting faster or the skip rate moving — the two are gated
+// differently by -compare.
 type Cell struct {
 	Workload string  `json:"workload"`
 	Config   string  `json:"config"`
 	Loop     string  `json:"loop"`
 	Cycles   int64   `json:"simulated_cycles"`
+	Ticked   int64   `json:"cycles_ticked"`
+	Skipped  int64   `json:"cycles_skipped"`
 	WallNS   int64   `json:"wall_ns"`
 	CyclesPS float64 `json:"cycles_per_sec"`
 	Allocs   uint64  `json:"allocs"`
@@ -65,6 +72,8 @@ type Cell struct {
 // LoopTotal aggregates one loop mode across the whole matrix.
 type LoopTotal struct {
 	Cycles   int64   `json:"simulated_cycles"`
+	Ticked   int64   `json:"cycles_ticked"`
+	Skipped  int64   `json:"cycles_skipped"`
 	WallNS   int64   `json:"wall_ns"`
 	CyclesPS float64 `json:"cycles_per_sec"`
 	Allocs   uint64  `json:"allocs"`
@@ -95,8 +104,22 @@ func main() {
 		compare   = flag.String("compare", "", "baseline BENCH_*.json to check against (regression mode)")
 		threshold = flag.Float64("threshold", 0.15, "relative regression tolerance for -compare")
 		date      = flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the report")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the matrix run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tombench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tombench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var modes []string
 	switch *loop {
@@ -193,6 +216,8 @@ func runMatrix(scale float64, modes []string, date string) (*Report, error) {
 	for _, c := range rep.Cells {
 		t := rep.Totals[c.Loop]
 		t.Cycles += c.Cycles
+		t.Ticked += c.Ticked
+		t.Skipped += c.Skipped
 		t.WallNS += c.WallNS
 		t.Allocs += c.Allocs
 		rep.Totals[c.Loop] = t
@@ -234,11 +259,14 @@ func runCell(inst *workloads.Instance, sp core.RunSpec, mode string) (Cell, erro
 	}
 
 	cycles := sys.Stats().Cycles
+	ticked := sys.ExecutedCycles()
 	cell := Cell{
 		Workload: sp.Abbr,
 		Config:   string(sp.Config),
 		Loop:     mode,
 		Cycles:   cycles,
+		Ticked:   ticked,
+		Skipped:  cycles - ticked,
 		WallNS:   wall.Nanoseconds(),
 		Allocs:   after.Mallocs - before.Mallocs,
 	}
@@ -255,8 +283,12 @@ func printSummary(rep *Report) {
 	fmt.Println()
 	for _, mode := range []string{"event", "percycle"} {
 		if t, ok := rep.Totals[mode]; ok {
-			fmt.Printf("%-8s total: %d cycles in %v — %.0f cycles/s, %.2f allocs/cycle\n",
-				mode, t.Cycles, time.Duration(t.WallNS), t.CyclesPS, t.AllocsPC)
+			skip := 0.0
+			if t.Cycles > 0 {
+				skip = float64(t.Skipped) / float64(t.Cycles) * 100
+			}
+			fmt.Printf("%-8s total: %d cycles in %v — %.0f cycles/s, %.2f allocs/cycle, ticked %d / skipped %d (%.1f%%)\n",
+				mode, t.Cycles, time.Duration(t.WallNS), t.CyclesPS, t.AllocsPC, t.Ticked, t.Skipped, skip)
 		}
 	}
 	if rep.Speedup > 0 {
@@ -305,6 +337,13 @@ func compareReports(base, cur *Report, threshold float64) []string {
 			errs = append(errs, fmt.Sprintf("%s: simulated %d cycles, baseline %d — model changed, baseline is stale",
 				key, c.Cycles, b.Cycles))
 		}
+		// The executed-cycle split is as deterministic as the cycle count:
+		// a drift means the wake-horizon computation changed. Guard on the
+		// baseline actually carrying the field (older baselines predate it).
+		if b.Ticked > 0 && b.Ticked != c.Ticked {
+			errs = append(errs, fmt.Sprintf("%s: ticked %d cycles (skipped %d), baseline ticked %d (skipped %d) — skip rate changed, baseline is stale",
+				key, c.Ticked, c.Skipped, b.Ticked, b.Skipped))
+		}
 	}
 
 	// Allocation budget: allocs/cycle may not grow beyond threshold.
@@ -322,8 +361,10 @@ func compareReports(base, cur *Report, threshold float64) []string {
 	// Speedup ratio: machine-independent to first order (both loops run on
 	// the same machine in the same process), may not shrink beyond threshold.
 	if base.Speedup > 0 && cur.Speedup > 0 && cur.Speedup < base.Speedup*(1-threshold) {
-		errs = append(errs, fmt.Sprintf("event speedup %.2fx, baseline %.2fx (-%.0f%% > %.0f%% tolerance)",
-			cur.Speedup, base.Speedup, (1-cur.Speedup/base.Speedup)*100, threshold*100))
+		ev := cur.Totals["event"]
+		errs = append(errs, fmt.Sprintf("event speedup %.2fx, baseline %.2fx (-%.0f%% > %.0f%% tolerance; event loop ticked %d / skipped %d of %d cycles)",
+			cur.Speedup, base.Speedup, (1-cur.Speedup/base.Speedup)*100, threshold*100,
+			ev.Ticked, ev.Skipped, ev.Cycles))
 	}
 	return errs
 }

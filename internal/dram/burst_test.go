@@ -1,0 +1,63 @@
+package dram
+
+import "testing"
+
+// burstCycles measures the data-burst length the vault charges for a single
+// request of the given size: a fresh vault issues at cycle 0 with a full
+// activate (TRP+TRCD+TCL), so the completion cycle minus that latency is the
+// burst. Zero bytes must complete at the activate latency exactly.
+func burstCycles(t *testing.T, bw float64, bytes int) int64 {
+	t.Helper()
+	tm := DefaultTiming()
+	tm.BytesPerCycle = bw
+	v := NewVault(tm)
+	done := int64(-1)
+	v.Enqueue(&Request{Addr: 0, Bytes: bytes, Done: func(at int64) { done = at }})
+	for now := int64(0); done < 0; now++ {
+		if now > 100_000 {
+			t.Fatalf("request (%d B at %g B/cy) never completed", bytes, bw)
+		}
+		v.Tick(now)
+	}
+	return done - (tm.TRP + tm.TRCD + tm.TCL)
+}
+
+// TestBurstRoundingIsTrueCeil: the burst charge is the mathematical ceiling
+// of bytes/bandwidth. The retired int64(x+0.999) hack computed floor(x+0.999),
+// which undercounts by a full cycle whenever the quotient's fractional part
+// falls in (0, 0.001) — a burst shorter than serialization itself needs,
+// violating the bandwidth bound. The table covers the divergent store sizes
+// the coalescer emits (32+4k B at the Table 1 vault bandwidth, where the
+// exact ceiling is computable in integers: 7.14 B/cy = 50/357 cy/B) plus a
+// constructed undercount case and the zero-byte guard.
+func TestBurstRoundingIsTrueCeil(t *testing.T) {
+	// Divergent store sizes and full lines at the default 7.14 B/cy.
+	// ceil(bytes/7.14) = ceil(bytes*50/357), exact in integer arithmetic;
+	// every fractional part is a multiple of 1/357 ≈ 0.0028, so the float
+	// division is well-conditioned for these sizes.
+	for bytes := 32; bytes <= 128; bytes += 4 {
+		want := (int64(bytes)*50 + 356) / 357
+		if got := burstCycles(t, 7.14, bytes); got != want {
+			t.Errorf("%d B at 7.14 B/cy: burst %d cycles, want %d", bytes, got, want)
+		}
+	}
+	cases := []struct {
+		name  string
+		bw    float64
+		bytes int
+		want  int64
+	}{
+		// 2/1.999 = 1.0005...: true ceiling 2; the 0.999 hack said 1,
+		// finishing the burst before the bus could have moved the bytes.
+		{"hack-undercount", 1.999, 2, 2},
+		{"exact-fit", 4.0, 128, 32},
+		{"one-byte", 7.14, 1, 1},
+		{"zero-bytes", 7.14, 0, 0},
+	}
+	for _, c := range cases {
+		if got := burstCycles(t, c.bw, c.bytes); got != c.want {
+			t.Errorf("%s: %d B at %g B/cy: burst %d cycles, want %d",
+				c.name, c.bytes, c.bw, got, c.want)
+		}
+	}
+}

@@ -2,7 +2,19 @@
 // FR-FCFS scheduling over banks with open-row tracking, DDR3-like timing,
 // and a TSV data-bus bandwidth budget per vault (Table 1: 16 vaults/stack,
 // 16 banks/vault, 64 TSVs/vault at 1.25 Gb/s ≈ 10 GB/s per vault).
+//
+// Requests queue per bank, in arrival order tagged with a global sequence
+// number, so FR-FCFS arbitration is an O(banks) pick over bank heads (plus
+// a short in-bank scan for the oldest open-row hit) instead of a scan of
+// the whole queue — and NextEvent can report the exact first cycle any
+// queued request can issue, letting the event-driven loop skip the cycles
+// in between entirely.
 package dram
+
+import (
+	"math"
+	"math/bits"
+)
 
 // Timing collects the vault timing/geometry parameters, in core cycles.
 type Timing struct {
@@ -36,16 +48,20 @@ type Request struct {
 	// Done runs when the data burst completes.
 	Done func(now int64)
 
-	// bank and row are precomputed at Enqueue so the per-cycle FR-FCFS
-	// scans index directly instead of re-deriving them per element.
+	// bank, row, and seq are assigned at Enqueue: bank/row so arbitration
+	// indexes directly instead of re-deriving them, seq (global arrival
+	// order) so the per-bank queues can reconstruct FR-FCFS's "oldest
+	// first" exactly as the former single arrival-ordered queue did.
 	bank int
 	row  uint64
+	seq  uint64
 }
 
 type bank struct {
 	openRow   uint64
 	hasRow    bool
 	busyUntil int64
+	queue     []*Request // this bank's waiting requests, arrival order
 }
 
 type completion struct {
@@ -53,13 +69,22 @@ type completion struct {
 	done func(now int64)
 }
 
-// Vault is one vault: a request queue, banks, and a TSV data bus.
+// Vault is one vault: per-bank request queues, banks, and a TSV data bus.
 type Vault struct {
 	t         Timing
 	banks     []bank
-	queue     []*Request
+	occ       uint64 // bit b set iff banks[b].queue is non-empty
+	queued    int    // total waiting requests across all bank queues
+	seq       uint64
 	busFreeAt int64
+	drainGap  int64 // bus-drain backpressure point: no issue while busFreeAt > now + drainGap
 	compl     []completion
+
+	// Memoized NextEvent result. The horizon is an absolute cycle, so it
+	// stays valid as time passes; it is invalidated whenever the inputs
+	// change (enqueue, issue, completion pop).
+	horizon      int64
+	horizonValid bool
 
 	// Stats.
 	Activations uint64
@@ -71,14 +96,14 @@ type Vault struct {
 
 // NewVault creates a vault with the given timing.
 func NewVault(t Timing) *Vault {
-	return &Vault{t: t, banks: make([]bank, t.Banks)}
+	return &Vault{t: t, banks: make([]bank, t.Banks), drainGap: int64(4 * float64(t.TCL))}
 }
 
 // Full reports whether the request queue is at capacity.
-func (v *Vault) Full() bool { return len(v.queue) >= v.t.QueueDepth }
+func (v *Vault) Full() bool { return v.queued >= v.t.QueueDepth }
 
 // QueueLen returns the number of waiting requests.
-func (v *Vault) QueueLen() int { return len(v.queue) }
+func (v *Vault) QueueLen() int { return v.queued }
 
 // Enqueue adds a request; returns false if the queue is full.
 func (v *Vault) Enqueue(r *Request) bool {
@@ -87,26 +112,57 @@ func (v *Vault) Enqueue(r *Request) bool {
 	}
 	r.row = r.Addr / uint64(v.t.RowBytes)
 	r.bank = v.BankOf(r.Addr)
-	v.queue = append(v.queue, r)
+	r.seq = v.seq
+	v.seq++
+	v.banks[r.bank].queue = append(v.banks[r.bank].queue, r)
+	v.occ |= 1 << r.bank
+	v.queued++
+	v.horizonValid = false
 	return true
 }
 
 // Active reports whether the vault has pending work.
-func (v *Vault) Active() bool { return len(v.queue) > 0 || len(v.compl) > 0 }
+func (v *Vault) Active() bool { return v.queued > 0 || len(v.compl) > 0 }
 
-// NextEvent returns the next cycle this vault needs to tick: 0 while
-// requests are queued (issue arbitration runs every cycle — bank and bus
-// readiness make waiting states conservative), the earliest completion
-// cycle while bursts are draining, and -1 when idle. The completion list
-// is kept sorted by Tick.
+// NextEvent returns the next cycle this vault does observable work: the
+// earliest of the next burst completion and the first cycle issue
+// arbitration can actually accept a queued request — the first cycle some
+// queued bank is free AND the data bus has drained below the backpressure
+// point. Any value at or before the caller's current cycle means "ready
+// now"; -1 means idle. Between the returned cycle and now the vault is
+// provably inert, so the event-driven loop may skip straight there.
 func (v *Vault) NextEvent() int64 {
-	if len(v.queue) > 0 {
-		return 0
+	if !v.horizonValid {
+		v.horizon = v.computeHorizon()
+		v.horizonValid = true
 	}
+	return v.horizon
+}
+
+func (v *Vault) computeHorizon() int64 {
+	next := int64(-1)
 	if len(v.compl) > 0 {
-		return v.compl[0].at
+		next = v.compl[0].at
 	}
-	return -1
+	if v.queued > 0 {
+		// Earliest possible issue: the first cycle c with some queued
+		// bank's busyUntil <= c and busFreeAt <= c + drainGap. Bank state
+		// and busFreeAt only change at issues and enqueues, both of which
+		// invalidate this memo, so the bound is exact, not conservative.
+		earliest := int64(math.MaxInt64)
+		for m := v.occ; m != 0; m &= m - 1 {
+			if b := &v.banks[bits.TrailingZeros64(m)]; b.busyUntil < earliest {
+				earliest = b.busyUntil
+			}
+		}
+		if drain := v.busFreeAt - v.drainGap; drain > earliest {
+			earliest = drain
+		}
+		if next < 0 || earliest < next {
+			next = earliest
+		}
+	}
+	return next
 }
 
 // Snapshot is a point-in-time view of a vault's counters and occupancy,
@@ -129,7 +185,7 @@ func (v *Vault) Snapshot() Snapshot {
 		Reads:       v.Reads,
 		Writes:      v.Writes,
 		BytesMoved:  v.BytesMoved,
-		Queued:      len(v.queue),
+		Queued:      v.queued,
 		InFlight:    len(v.compl),
 	}
 }
@@ -146,51 +202,75 @@ func (v *Vault) BankOf(addr uint64) int {
 
 // Tick issues at most one request per cycle (FR-FCFS: oldest row-hit to a
 // free bank first, else oldest to a free bank) and fires completions.
+// "Oldest" is global arrival order: within a bank the queue is already
+// arrival-ordered, and the seq tags order candidates across banks, so the
+// pick visits each bank once instead of scanning one global queue twice.
 func (v *Vault) Tick(now int64) {
 	for len(v.compl) > 0 && v.compl[0].at <= now {
 		c := v.compl[0]
 		v.compl = v.compl[1:]
+		v.horizonValid = false
 		if c.done != nil {
 			c.done(now)
 		}
 	}
-	if len(v.queue) == 0 || v.busFreeAt > now+int64(4*float64(v.t.TCL)) {
+	if v.queued == 0 || v.busFreeAt > now+v.drainGap {
 		// Data bus hopelessly backed up: let it drain.
 		return
 	}
-	pick := -1
-	for i, r := range v.queue { // first-ready row hit
-		b := &v.banks[r.bank]
-		if b.busyUntil <= now && b.hasRow && b.openRow == r.row {
-			pick = i
-			break
+	var pick *Request
+	pickBank, pickIdx := -1, -1
+	for m := v.occ; m != 0; m &= m - 1 { // first-ready row hit: oldest open-row hit over free banks
+		i := bits.TrailingZeros64(m)
+		b := &v.banks[i]
+		if b.busyUntil > now || !b.hasRow {
+			continue
 		}
-	}
-	if pick < 0 {
-		for i, r := range v.queue { // oldest to a free bank
-			if v.banks[r.bank].busyUntil <= now {
-				pick = i
+		for qi, r := range b.queue {
+			if r.row == b.openRow {
+				if pick == nil || r.seq < pick.seq {
+					pick, pickBank, pickIdx = r, i, qi
+				}
 				break
 			}
 		}
 	}
-	if pick < 0 {
+	if pick == nil {
+		for m := v.occ; m != 0; m &= m - 1 { // oldest to a free bank: min seq over bank heads
+			i := bits.TrailingZeros64(m)
+			b := &v.banks[i]
+			if b.busyUntil > now {
+				continue
+			}
+			if r := b.queue[0]; pick == nil || r.seq < pick.seq {
+				pick, pickBank, pickIdx = r, i, 0
+			}
+		}
+	}
+	if pick == nil {
 		return
 	}
-	r := v.queue[pick]
-	v.queue = append(v.queue[:pick], v.queue[pick+1:]...)
-	b := &v.banks[r.bank]
-	row := r.row
+	b := &v.banks[pickBank]
+	b.queue = append(b.queue[:pickIdx], b.queue[pickIdx+1:]...)
+	if len(b.queue) == 0 {
+		v.occ &^= 1 << pickBank
+	}
+	v.queued--
+	v.horizonValid = false
+	r := pick
 	var lat int64
-	if b.hasRow && b.openRow == row {
+	if b.hasRow && b.openRow == r.row {
 		lat = v.t.TCL
 		v.RowHits++
 	} else {
 		lat = v.t.TRP + v.t.TRCD + v.t.TCL
 		v.Activations++
-		b.openRow, b.hasRow = row, true
+		b.openRow, b.hasRow = r.row, true
 	}
-	burst := int64(float64(r.Bytes)/v.t.BytesPerCycle + 0.999)
+	var burst int64
+	if r.Bytes > 0 {
+		burst = int64(math.Ceil(float64(r.Bytes) / v.t.BytesPerCycle))
+	}
 	start := now + lat
 	if v.busFreeAt > start {
 		start = v.busFreeAt

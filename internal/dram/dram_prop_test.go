@@ -111,3 +111,112 @@ func TestBankFoldPreservesRowResidency(t *testing.T) {
 		}
 	}
 }
+
+// TestVaultEventJumpMatchesPerCycle: driving a vault only at the cycles its
+// own NextEvent() horizon names (plus external arrival cycles) must be
+// indistinguishable from ticking it every cycle — identical per-request
+// completion times and identical counters. This is the admissibility
+// property the event-driven loop rests on: between `now` and the horizon
+// the vault is provably inert, so a reported horizon that is ever too late
+// (skipping a cycle where the per-cycle vault issues or completes) shows up
+// here as a completion-time or counter divergence.
+func TestVaultEventJumpMatchesPerCycle(t *testing.T) {
+	type arrival struct {
+		at    int64
+		addr  uint64
+		bytes int
+		write bool
+	}
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 900))
+		var sched []arrival
+		at := int64(0)
+		for i := 0; i < 300; i++ {
+			at += int64(rng.Intn(40)) // bursty: many same-cycle arrivals
+			a := arrival{at: at, addr: uint64(rng.Intn(1 << 22)) &^ 127, bytes: 128}
+			if rng.Intn(3) == 0 {
+				a.addr = uint64(i) * 128 % (1 << 16) // row-friendly
+			}
+			if rng.Intn(4) == 0 {
+				a.bytes = 32 + 4*rng.Intn(24)
+				a.write = true
+			}
+			sched = append(sched, a)
+		}
+
+		run := func(jump bool) ([]int64, Snapshot, uint64, uint64) {
+			v := NewVault(DefaultTiming())
+			doneAt := make([]int64, len(sched))
+			for i := range doneAt {
+				doneAt[i] = -1
+			}
+			i := 0
+			now := int64(0)
+			for i < len(sched) || v.Active() {
+				blocked := false
+				for i < len(sched) && sched[i].at <= now {
+					id := i
+					ok := v.Enqueue(&Request{
+						Addr: sched[i].addr, Bytes: sched[i].bytes, Write: sched[i].write,
+						Done: func(c int64) { doneAt[id] = c },
+					})
+					if !ok {
+						blocked = true // queue full: retry next cycle, like wevVaultTry
+						break
+					}
+					i++
+				}
+				if !jump {
+					v.Tick(now)
+					now++
+					continue
+				}
+				if h := v.NextEvent(); h >= 0 && h <= now {
+					v.Tick(now)
+				}
+				// Next cycle anything can happen: the vault's own horizon,
+				// the next scheduled arrival, or an immediate retry while the
+				// queue is full.
+				next := int64(1 << 62)
+				if blocked {
+					next = now + 1
+				}
+				if i < len(sched) && sched[i].at < next {
+					next = sched[i].at
+				}
+				if h := v.NextEvent(); h >= 0 {
+					if h <= now {
+						h = now + 1 // ready: vault issues at most one request per cycle
+					}
+					if h < next {
+						next = h
+					}
+				}
+				if next <= now {
+					next = now + 1
+				}
+				if next == 1<<62 {
+					break
+				}
+				now = next
+				if now > 10_000_000 {
+					t.Fatal("event run did not drain")
+				}
+			}
+			return doneAt, v.Snapshot(), v.RowHits, v.Activations
+		}
+
+		ref, refSnap, refHits, refActs := run(false)
+		got, gotSnap, gotHits, gotActs := run(true)
+		for id := range ref {
+			if ref[id] != got[id] {
+				t.Fatalf("trial %d: request %d completed at %d per-cycle but %d event-jump",
+					trial, id, ref[id], got[id])
+			}
+		}
+		if refSnap != gotSnap || refHits != gotHits || refActs != gotActs {
+			t.Fatalf("trial %d: counters diverged: per-cycle %+v (hits %d acts %d), event %+v (hits %d acts %d)",
+				trial, refSnap, refHits, refActs, gotSnap, gotHits, gotActs)
+		}
+	}
+}

@@ -3,13 +3,31 @@
 // and the cross-stack links, each with a serialization bandwidth in
 // bytes/cycle, a propagation latency, and a utilization monitor — the
 // Channel Busy Monitor of §4.1 ❷ that dynamic offloading control consults.
+//
+// Serialization is deterministic, so the link never needs to be ticked
+// every cycle: each packet's serialization-finish cycle is computed at Send
+// time, and all per-cycle bookkeeping (BusyCycles, the busy-monitor
+// buckets, BytesSent) advances lazily in bulk when the link is next
+// observed. AdvanceTo(now) — which Tick aliases — is therefore free to
+// jump across any span in which no packet is delivered: the skipped cycles
+// are reconstructed exactly. The per-cycle reference loop simply calls
+// AdvanceTo once per cycle and exercises the same code.
 package link
+
+import "math"
 
 // Packet is a unit of transfer. Bytes includes all header overhead.
 // Deliver runs at the receiving end after serialization + propagation.
 type Packet struct {
 	Bytes   int
 	Deliver func(now int64)
+}
+
+// qpacket is a queued packet plus its precomputed serialization-finish
+// cycle (absolute). Finish cycles within a burst are non-decreasing.
+type qpacket struct {
+	p      Packet
+	finish int64
 }
 
 type inflight struct {
@@ -23,10 +41,21 @@ type Link struct {
 	BytesPerCycle float64
 	PropLatency   int64
 
-	queue     []Packet
-	headRem   float64 // bytes of the head packet not yet serialized
+	queue     []qpacket
 	inflight  []inflight
 	busWindow busyMonitor
+
+	// burstStart is the first serialization cycle of the current burst (a
+	// maximal span of back-to-back busy cycles); burstBytes accumulates the
+	// byte prefix of packets in the burst, so each packet's finish cycle is
+	// the first cycle k of the burst with k·BytesPerCycle ≥ its prefix.
+	burstStart int64
+	burstBytes float64
+	// acctThrough is the last cycle whose serialization effects (counter
+	// increments, busy-monitor records, queue→inflight moves) have been
+	// applied. Accounting is prefix-based and idempotent: advancing to b
+	// directly or via any intermediate cycles yields identical state.
+	acctThrough int64
 
 	// Stats.
 	BytesSent   uint64
@@ -37,54 +66,88 @@ type Link struct {
 // New creates a link.
 func New(name string, bytesPerCycle float64, propLatency int64) *Link {
 	return &Link{Name: name, BytesPerCycle: bytesPerCycle, PropLatency: propLatency,
-		busWindow: newBusyMonitor()}
+		busWindow: newBusyMonitor(), acctThrough: -1}
 }
 
-// Send enqueues a packet for transmission.
-func (l *Link) Send(p Packet) {
+// Send enqueues a packet for transmission at cycle `now`. Serialization
+// starts this cycle if the link has not yet been advanced through `now`
+// (the normal case: sends happen earlier in the cycle than link advances),
+// and next cycle otherwise — exactly when a per-cycle Tick would first see
+// the packet.
+func (l *Link) Send(p Packet, now int64) {
+	l.account(now - 1)
 	if len(l.queue) == 0 {
-		l.headRem = float64(p.Bytes)
+		// acctThrough ≥ now-1 after the account call, so the burst starts
+		// at `now` when the link has not been advanced this cycle yet, and
+		// at now+1 when it has.
+		l.burstStart = l.acctThrough + 1
+		l.burstBytes = 0
 	}
-	l.queue = append(l.queue, p)
+	l.burstBytes += float64(p.Bytes)
+	// finish = burstStart + k - 1 for the smallest k ≥ 1 with
+	// k·BytesPerCycle ≥ burstBytes. Nudge the ceil result to make the
+	// comparison — not the division's rounding — authoritative.
+	k := int64(math.Ceil(l.burstBytes / l.BytesPerCycle))
+	if k < 1 {
+		k = 1
+	}
+	for k > 1 && float64(k-1)*l.BytesPerCycle >= l.burstBytes {
+		k--
+	}
+	for float64(k)*l.BytesPerCycle < l.burstBytes {
+		k++
+	}
+	l.queue = append(l.queue, qpacket{p: p, finish: l.burstStart + k - 1})
 }
 
-// QueuedPackets returns the number of packets not yet fully serialized.
+// QueuedPackets returns the number of packets not yet moved to the
+// propagation stage as of the last accounting point (loop diagnostics; for
+// exact occupancy at a cycle use Snapshot, which accounts first).
 func (l *Link) QueuedPackets() int { return len(l.queue) }
 
 // Active reports whether the link has pending work.
 func (l *Link) Active() bool { return len(l.queue) > 0 || len(l.inflight) > 0 }
 
-// Tick advances one cycle: serializes up to BytesPerCycle bytes and
-// delivers packets whose propagation completed. Idle cycles are free to
-// skip: the busy monitor advances lazily on reads, so a link that is not
-// ticked while idle reports the same utilization as one ticked every cycle.
-func (l *Link) Tick(now int64) {
-	if len(l.queue) == 0 && len(l.inflight) == 0 {
+// account applies serialization effects for all cycles through `target`:
+// busy-cycle counting (one per cycle the queue is non-empty, matching the
+// per-cycle reference), busy-monitor records, and moving packets whose
+// serialization completed to the in-flight (propagation) stage. It fires
+// no callbacks, so read paths (Utilization, Snapshot) may call it safely.
+func (l *Link) account(target int64) {
+	if target <= l.acctThrough {
 		return
 	}
 	if len(l.queue) > 0 {
-		l.BusyCycles++
-		budget := l.BytesPerCycle
-		for budget > 0 && len(l.queue) > 0 {
-			if l.headRem > budget {
-				l.headRem -= budget
-				budget = 0
-				break
-			}
-			budget -= l.headRem
-			p := l.queue[0]
-			l.queue = l.queue[1:]
-			l.BytesSent += uint64(p.Bytes)
-			l.PacketsSent++
-			l.inflight = append(l.inflight, inflight{p: p, at: now + l.PropLatency})
-			if len(l.queue) > 0 {
-				l.headRem = float64(l.queue[0].Bytes)
-			}
+		a := l.acctThrough + 1
+		if a < l.burstStart {
+			a = l.burstStart
 		}
-		// Idle (propagate-only) ticks record nothing: the monitor advances
-		// lazily on reads, so skipping the busy=false record is free.
-		l.busWindow.record(now)
+		b := target
+		if last := l.queue[len(l.queue)-1].finish; b > last {
+			b = last
+		}
+		if a <= b {
+			l.BusyCycles += uint64(b - a + 1)
+			l.busWindow.addSpan(a, b)
+		}
+		for len(l.queue) > 0 && l.queue[0].finish <= target {
+			q := l.queue[0]
+			l.queue = l.queue[1:]
+			l.BytesSent += uint64(q.p.Bytes)
+			l.PacketsSent++
+			l.inflight = append(l.inflight, inflight{p: q.p, at: q.finish + l.PropLatency})
+		}
 	}
+	l.acctThrough = target
+}
+
+// AdvanceTo advances the link to cycle `now`: serialization effects for
+// every cycle through `now` are applied in bulk, and packets whose
+// propagation completed are delivered. Calling it once per cycle (the
+// per-cycle reference loop) and calling it only at NextEvent cycles (the
+// event-driven loop) produce identical state and identical delivery times.
+func (l *Link) AdvanceTo(now int64) {
+	l.account(now)
 	for len(l.inflight) > 0 && l.inflight[0].at <= now {
 		f := l.inflight[0]
 		l.inflight = l.inflight[1:]
@@ -94,25 +157,50 @@ func (l *Link) Tick(now int64) {
 	}
 }
 
-// NextEvent returns the next cycle this link needs to tick: 0 while a
-// packet is serializing (every cycle counts), the head in-flight packet's
-// delivery cycle while only propagating, and -1 when fully idle. In-flight
-// entries are sorted by delivery cycle because PropLatency is constant and
-// Tick times are monotone.
+// Tick is the per-cycle spelling of AdvanceTo (the reference loop and the
+// unit tests drive links one cycle at a time).
+func (l *Link) Tick(now int64) { l.AdvanceTo(now) }
+
+// SkipTo marks the link as advanced through `now` without doing any work.
+// Valid only when the link is idle (nothing queued or in flight): an idle
+// link's AdvanceTo would only move the accounting point anyway. The point
+// still must move — Send uses it to decide whether the link has had its
+// turn this cycle (burst starts now vs. now+1) — so the simulator calls
+// this inlinable fast path instead of skipping idle links outright.
+func (l *Link) SkipTo(now int64) {
+	if now > l.acctThrough {
+		l.acctThrough = now
+	}
+}
+
+// NextEvent returns the next cycle at which this link does observable work
+// — delivers a packet — or -1 when fully idle. Serialization progress in
+// between is invisible (it is accounted lazily), so the event-driven loop
+// may jump straight to this cycle. In-flight entries are sorted by
+// delivery cycle because PropLatency is constant and finish cycles are
+// monotone; the head queued packet's delivery can never precede them.
 func (l *Link) NextEvent() int64 {
-	if len(l.queue) > 0 {
-		return 0
-	}
+	next := int64(-1)
 	if len(l.inflight) > 0 {
-		return l.inflight[0].at
+		next = l.inflight[0].at
 	}
-	return -1
+	if len(l.queue) > 0 {
+		if t := l.queue[0].finish + l.PropLatency; next < 0 || t < next {
+			next = t
+		}
+	}
+	return next
 }
 
 // Utilization returns the fraction of the last 1024 cycles (ending at
-// `now`) the link spent serializing. Taking the read time explicitly lets
-// the monitor expire stale sub-windows even when idle cycles were skipped.
-func (l *Link) Utilization(now int64) float64 { return l.busWindow.utilization(now) }
+// `now`) the link spent serializing. The read lazily accounts serialization
+// through now-1 first — the state a per-cycle caller would observe before
+// this cycle's Tick — so reads at arbitrary cycles are exact even when the
+// link has not been advanced for a while.
+func (l *Link) Utilization(now int64) float64 {
+	l.account(now - 1)
+	return l.busWindow.utilization(now)
+}
 
 // Snapshot is a point-in-time view of a link's counters, for the
 // observability layer's periodic sampling.
@@ -124,14 +212,17 @@ type Snapshot struct {
 	Utilization float64 // sliding-window busy fraction
 }
 
-// Snapshot captures the link's current counters and occupancy as of `now`.
+// Snapshot captures the link's counters and occupancy as of the start of
+// cycle `now` (serialization accounted through now-1, matching what a
+// per-cycle caller sees before this cycle's Tick).
 func (l *Link) Snapshot(now int64) Snapshot {
+	l.account(now - 1)
 	return Snapshot{
 		BytesSent:   l.BytesSent,
 		PacketsSent: l.PacketsSent,
 		BusyCycles:  l.BusyCycles,
 		Queued:      len(l.queue),
-		Utilization: l.Utilization(now),
+		Utilization: l.busWindow.utilization(now),
 	}
 }
 
@@ -142,10 +233,10 @@ func (l *Link) Busy(threshold float64, now int64) bool {
 }
 
 // busyMonitor tracks utilization over a power-of-two sliding window using
-// coarse buckets. Time advances lazily: both writes (record) and reads
-// (utilization) expire the sub-windows between the last touch and `now`,
-// so a link that skips idle cycles reads identically to one ticked every
-// cycle — the skipped cycles would all have recorded busy=false.
+// coarse buckets. Time advances lazily: reads (utilization) and bulk
+// writes (addSpan) expire the sub-windows between the last touch and the
+// cycle in hand, so a link that skips idle or even busy cycles reads
+// identically to one recorded every cycle.
 const (
 	busyWindow   = 1024 // sliding-window length in cycles
 	busySubShift = 7    // log2(window / #buckets): 1024/8 = 128-cycle buckets
@@ -162,8 +253,7 @@ func newBusyMonitor() busyMonitor {
 
 // advance expires sub-windows between lastSub and the one containing now
 // (bounded: a gap of a full window clears everything). Power-of-two window
-// and bucket sizes keep this shift-and-mask only — it runs once per busy
-// link tick.
+// and bucket sizes keep this shift-and-mask only.
 func (m *busyMonitor) advance(now int64) {
 	sub := now >> busySubShift
 	if sub == m.lastSub {
@@ -182,10 +272,32 @@ func (m *busyMonitor) advance(now int64) {
 	m.lastSub = sub
 }
 
-// record marks `now` as a busy cycle.
-func (m *busyMonitor) record(now int64) {
-	m.advance(now)
-	m.buckets[m.lastSub&int64(len(m.buckets)-1)]++
+// addSpan marks every cycle in [a, b] busy — the bulk equivalent of
+// calling a per-cycle record for each. A read may already have advanced
+// lastSub past part of the span (reads happen earlier in a cycle than link
+// advances): sub-windows still inside the sliding window receive their
+// counts without rewinding lastSub, and sub-windows that have already
+// expired are skipped entirely — their cycles would have been recorded and
+// then expired by a per-cycle caller, contributing nothing.
+func (m *busyMonitor) addSpan(a, b int64) {
+	n := int64(len(m.buckets))
+	for s := a >> busySubShift; s <= b>>busySubShift; s++ {
+		if s <= m.lastSub-n {
+			continue // expired before this accounting ran
+		}
+		lo := s << busySubShift
+		hi := lo + (1 << busySubShift) - 1
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		if s > m.lastSub {
+			m.advance(lo)
+		}
+		m.buckets[s&(n-1)] += hi - lo + 1
+	}
 }
 
 func (m *busyMonitor) utilization(now int64) float64 {

@@ -28,7 +28,7 @@ func TestRandomTrafficConservation(t *testing.T) {
 				l.Send(Packet{Bytes: sz, Deliver: func(at int64) {
 					delivered = append(delivered, id)
 					deliveredAt = append(deliveredAt, at)
-				}})
+				}}, now)
 				sent++
 			}
 			l.Tick(now)
@@ -67,12 +67,109 @@ func TestRandomTrafficConservation(t *testing.T) {
 func TestLatencyLowerBound(t *testing.T) {
 	l := New("t", 10, 25)
 	var at int64 = -1
-	l.Send(Packet{Bytes: 100, Deliver: func(now int64) { at = now }})
+	l.Send(Packet{Bytes: 100, Deliver: func(now int64) { at = now }}, 0)
 	for now := int64(0); at < 0 && now < 1000; now++ {
 		l.Tick(now)
 	}
 	// 100 B at 10 B/cy = 10 cycles serialization, +25 propagation.
 	if at < 34 {
 		t.Fatalf("delivered at %d, before the 34-cycle lower bound", at)
+	}
+}
+
+// TestLinkEventJumpMatchesPerCycle: advancing a link only at its NextEvent()
+// cycles (plus externally scheduled send and utilization-probe cycles) must
+// match ticking it every cycle exactly — same per-packet delivery times,
+// same counters, and the same Channel Busy Monitor readings at every probe.
+// The probes deliberately land at cycles the event run would otherwise skip,
+// exercising the lazy bulk accounting path (account through now-1 on read).
+func TestLinkEventJumpMatchesPerCycle(t *testing.T) {
+	type send struct {
+		at    int64
+		bytes int
+	}
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 40))
+		bw := []float64{7.14, 28.57, 57.14, 1.999}[trial%4]
+		lat := int64(5 + rng.Intn(40))
+		var sched []send
+		at := int64(0)
+		for i := 0; i < 250; i++ {
+			at += int64(rng.Intn(60))
+			sched = append(sched, send{at: at, bytes: 4 + rng.Intn(300)})
+		}
+		var probes []int64
+		for p := int64(50); p < at+200; p += int64(100 + rng.Intn(400)) {
+			probes = append(probes, p)
+		}
+
+		run := func(jump bool) ([]int64, []float64, uint64, uint64, uint64) {
+			l := New("t", bw, lat)
+			deliveredAt := make([]int64, len(sched))
+			var utils []float64
+			si, pi := 0, 0
+			now := int64(0)
+			for si < len(sched) || l.Active() {
+				for pi < len(probes) && probes[pi] == now {
+					utils = append(utils, l.Utilization(now))
+					pi++
+				}
+				for si < len(sched) && sched[si].at == now {
+					id := si
+					l.Send(Packet{Bytes: sched[si].bytes,
+						Deliver: func(c int64) { deliveredAt[id] = c }}, now)
+					si++
+				}
+				if !jump {
+					l.Tick(now)
+					now++
+					continue
+				}
+				l.AdvanceTo(now)
+				next := int64(1 << 62)
+				if si < len(sched) && sched[si].at < next {
+					next = sched[si].at
+				}
+				if pi < len(probes) && probes[pi] < next {
+					next = probes[pi]
+				}
+				if h := l.NextEvent(); h >= 0 && h < next {
+					next = h
+				}
+				if next <= now { // AdvanceTo(now) cleared everything due
+					next = now + 1
+				}
+				if next == 1<<62 {
+					break
+				}
+				now = next
+				if now > 10_000_000 {
+					t.Fatal("event run did not drain")
+				}
+			}
+			return deliveredAt, utils, l.BytesSent, l.PacketsSent, l.BusyCycles
+		}
+
+		refAt, refU, refB, refP, refBusy := run(false)
+		gotAt, gotU, gotB, gotP, gotBusy := run(true)
+		for id := range refAt {
+			if refAt[id] != gotAt[id] {
+				t.Fatalf("trial %d (bw %g): packet %d delivered at %d per-cycle but %d event-jump",
+					trial, bw, id, refAt[id], gotAt[id])
+			}
+		}
+		if refB != gotB || refP != gotP || refBusy != gotBusy {
+			t.Fatalf("trial %d (bw %g): counters diverged: bytes %d/%d packets %d/%d busy %d/%d",
+				trial, bw, refB, gotB, refP, gotP, refBusy, gotBusy)
+		}
+		if len(refU) != len(gotU) {
+			t.Fatalf("trial %d: probe counts differ: %d vs %d", trial, len(refU), len(gotU))
+		}
+		for i := range refU {
+			if refU[i] != gotU[i] {
+				t.Fatalf("trial %d (bw %g): probe %d at cycle %d read %v per-cycle but %v event-jump",
+					trial, bw, i, probes[i], refU[i], gotU[i])
+			}
+		}
 	}
 }

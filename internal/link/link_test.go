@@ -5,7 +5,7 @@ import "testing"
 func TestSerializationAndPropagation(t *testing.T) {
 	l := New("tx", 8, 10) // 8 B/cycle, 10 cycles propagation
 	var deliveredAt int64 = -1
-	l.Send(Packet{Bytes: 64, Deliver: func(now int64) { deliveredAt = now }})
+	l.Send(Packet{Bytes: 64, Deliver: func(now int64) { deliveredAt = now }}, 0)
 	for now := int64(0); now < 100 && deliveredAt < 0; now++ {
 		l.Tick(now)
 	}
@@ -27,7 +27,7 @@ func TestFIFOOrderAndConservation(t *testing.T) {
 		i := i
 		bytes := 16 + 16*(i%4)
 		total += bytes
-		l.Send(Packet{Bytes: bytes, Deliver: func(int64) { order = append(order, i) }})
+		l.Send(Packet{Bytes: bytes, Deliver: func(int64) { order = append(order, i) }}, 0)
 	}
 	for now := int64(0); now < 1000; now++ {
 		l.Tick(now)
@@ -51,7 +51,7 @@ func TestFIFOOrderAndConservation(t *testing.T) {
 func TestBigPacketSerializesGradually(t *testing.T) {
 	l := New("tx", 4, 0)
 	done := false
-	l.Send(Packet{Bytes: 1000, Deliver: func(int64) { done = true }})
+	l.Send(Packet{Bytes: 1000, Deliver: func(int64) { done = true }}, 0)
 	var now int64
 	for ; now < 10000 && !done; now++ {
 		l.Tick(now)
@@ -66,7 +66,7 @@ func TestUtilizationSaturates(t *testing.T) {
 	l := New("tx", 8, 0)
 	for now := int64(0); now < 2048; now++ {
 		if l.QueuedPackets() < 4 {
-			l.Send(Packet{Bytes: 128})
+			l.Send(Packet{Bytes: 128}, now)
 		}
 		l.Tick(now)
 	}
@@ -92,7 +92,7 @@ func TestUtilizationDecaysWithoutTicks(t *testing.T) {
 	l := New("tx", 8, 0)
 	for now := int64(0); now < 2048; now++ {
 		if l.QueuedPackets() < 4 {
-			l.Send(Packet{Bytes: 128})
+			l.Send(Packet{Bytes: 128}, now)
 		}
 		l.Tick(now)
 	}
@@ -114,7 +114,7 @@ func TestThroughputMatchesBandwidth(t *testing.T) {
 	delivered := 0
 	for now := int64(0); now < 10000; now++ {
 		if l.QueuedPackets() < 8 {
-			l.Send(Packet{Bytes: 144, Deliver: func(int64) { delivered++ }})
+			l.Send(Packet{Bytes: 144, Deliver: func(int64) { delivered++ }}, now)
 		}
 		l.Tick(now)
 	}

@@ -27,7 +27,7 @@ func (sys *System) runEvent(ev *wheelEvent, now int64) {
 		sys.txLinks[job.dest].Send(packetOf(reqBytes, func(rx int64) {
 			sm := sys.stacks[job.dest].spawnTarget()
 			sm.spawnQ = append(sm.spawnQ, job)
-		}))
+		}), now)
 
 	case wevFinishOffload:
 		sys.finishOffload(ev.job, now)

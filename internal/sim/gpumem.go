@@ -176,9 +176,9 @@ func (sys *System) routeLoad(line uint64, now int64) {
 		sys.stacks[s].serveLine(line, 0, false, at, func(done int64) {
 			sys.rxLinks[s].Send(packetOf(sys.cfg.LineBytes+lineRespExtra, func(rx int64) {
 				sys.l2fill(line, rx)
-			}))
+			}), done)
 		})
-	}))
+	}), now)
 }
 
 // routeStore sends a write-through store (or atomic) to its memory stack.
@@ -195,9 +195,9 @@ func (sys *System) routeStore(t *txn, now int64) {
 	}
 	sys.txLinks[s].Send(packetOf(bytes, func(at int64) {
 		sys.stacks[s].serveLine(t.line, t.bytes, true, at, func(done int64) {
-			sys.rxLinks[s].Send(packetOf(ack, t.complete))
+			sys.rxLinks[s].Send(packetOf(ack, t.complete), done)
 		})
-	}))
+	}), now)
 }
 
 // pcieLoad / pcieStore model the learning phase running out of CPU memory
@@ -206,12 +206,12 @@ func (sys *System) pcieLoad(line uint64, now int64) {
 	sys.pcieTX.Send(packetOf(reqHeaderBytes, func(at int64) {
 		sys.pcieRX.Send(packetOf(sys.cfg.LineBytes+lineRespExtra, func(rx int64) {
 			sys.l2fill(line, rx)
-		}))
-	}))
+		}), at)
+	}), now)
 }
 
 func (sys *System) pcieStore(t *txn, now int64) {
 	sys.pcieTX.Send(packetOf(reqHeaderBytes+t.bytes, func(at int64) {
-		sys.pcieRX.Send(packetOf(storeAckBytes, t.complete))
-	}))
+		sys.pcieRX.Send(packetOf(storeAckBytes, t.complete), at)
+	}), now)
 }

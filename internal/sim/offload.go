@@ -297,7 +297,7 @@ func (sys *System) sendOffloadAck(sw *smWarp, now int64) {
 	}
 	sys.rxLinks[job.dest].Send(packetOf(ackBytes, func(at int64) {
 		sys.finishOffload(job, at)
-	}))
+	}), now)
 }
 
 // finishOffload resumes the requesting warp: write live-outs, invalidate

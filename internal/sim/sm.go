@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/compiler"
 	"repro/internal/exec"
@@ -43,10 +45,13 @@ type SM struct {
 	// evRing is a per-SM timer ring for short fixed delays (ALU pipeline
 	// occupancy, L1-hit load returns). It avoids per-instruction closure
 	// allocation on the global wheel; slot slices are reused. ringCount
-	// tracks unfired entries so the event-driven loop can find the next
-	// due slot without scanning an empty ring.
+	// tracks unfired entries; ringMask mirrors slot occupancy (bit i set
+	// iff evRing[i] is non-empty — possible because ringSlots == 64), so
+	// the event-driven loop finds the next due slot with a rotate and a
+	// trailing-zero count instead of scanning the ring.
 	evRing    [ringSlots][]smEvent
 	ringCount int
+	ringMask  uint64
 }
 
 // ringSlots must exceed every latency scheduled on the ring.
@@ -197,6 +202,7 @@ func (sm *SM) ringAfter(lat, now int64, ev smEvent) {
 	i := (now + lat) % ringSlots
 	sm.evRing[i] = append(sm.evRing[i], ev)
 	sm.ringCount++
+	sm.ringMask |= 1 << uint(i)
 }
 
 // ringTick fires due ring events.
@@ -208,6 +214,7 @@ func (sm *SM) ringTick(now int64) {
 	}
 	sm.evRing[i] = due[:0]
 	sm.ringCount -= len(due)
+	sm.ringMask &^= 1 << uint(i)
 	for _, ev := range due {
 		if ev.reg >= 0 {
 			sm.regClear(ev.sw, isa.Reg(ev.reg), now)
@@ -616,7 +623,7 @@ func (sm *SM) runnableNow() bool {
 // loop elides the tick call entirely for such SMs; the per-cycle
 // reference loop always ticks.
 func (sm *SM) idleAt(now int64) bool {
-	if sm.ringCount != 0 && len(sm.evRing[now%ringSlots]) > 0 {
+	if sm.ringMask&(1<<uint(now%ringSlots)) != 0 {
 		return false
 	}
 	return !sm.runnableNow()
@@ -631,12 +638,11 @@ func (sm *SM) nextRingDue(from int64) int64 {
 	if sm.ringCount == 0 {
 		return -1
 	}
-	for d := int64(0); d < ringSlots; d++ {
-		if len(sm.evRing[(from+d)%ringSlots]) > 0 {
-			return from + d
-		}
-	}
-	return -1
+	// Rotate the occupancy mask so bit d corresponds to slot (from+d) mod
+	// ringSlots; the lowest set bit is the soonest due slot. ringCount > 0
+	// guarantees the mask is nonzero.
+	rot := bits.RotateLeft64(sm.ringMask, -int(from%ringSlots))
+	return from + int64(bits.TrailingZeros64(rot))
 }
 
 // busy reports whether the SM still has unfinished work.

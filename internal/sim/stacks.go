@@ -21,17 +21,21 @@ type stackNode struct {
 	nextSM int // round-robin spawn target
 }
 
-// spawnTarget picks the logic-layer SM with the most free warp slots
-// (ties broken round-robin).
+// spawnTarget picks the logic-layer SM with the most free warp slots,
+// ties broken round-robin: the scan starts at the rotating index (so an
+// all-equal tie picks each SM in turn, not always the lowest index) and
+// the rotation advances past the SM actually chosen.
 func (s *stackNode) spawnTarget() *SM {
-	best := s.sms[s.nextSM%len(s.sms)]
-	for _, sm := range s.sms {
-		if sm.freeSlots > best.freeSlots {
-			best = sm
+	n := len(s.sms)
+	start := s.nextSM % n
+	best := start
+	for i := 1; i < n; i++ {
+		if c := (start + i) % n; s.sms[c].freeSlots > s.sms[best].freeSlots {
+			best = c
 		}
 	}
-	s.nextSM++
-	return best
+	s.nextSM = best + 1
+	return s.sms[best]
 }
 
 func newStack(sys *System, id int) *stackNode {
@@ -59,9 +63,17 @@ func (s *stackNode) serveLine(line uint64, storeBytes int, write bool, now int64
 
 func (s *stackNode) tick(now int64, elide bool) {
 	for _, v := range s.vaults {
-		if v.Active() {
-			v.Tick(now)
+		if elide {
+			// A vault whose horizon is in the future has nothing to do
+			// this cycle: no completion is due and issue arbitration cannot
+			// accept a request (bank busy or bus backed up). -1 means idle.
+			if t := v.NextEvent(); t < 0 || t > now {
+				continue
+			}
+		} else if !v.Active() {
+			continue
 		}
+		v.Tick(now)
 	}
 	for _, sm := range s.sms {
 		if elide && sm.idleAt(now) {
@@ -111,8 +123,8 @@ func (p *stackPort) accept(now int64, t *txn) bool {
 	from, to := p.node.id, home
 	sys.crossLinks[from][to].Send(packetOf(reqBytes, func(at int64) {
 		sys.stacks[to].serveLine(t.line, t.bytes, t.store, at, func(done int64) {
-			sys.crossLinks[to][from].Send(packetOf(respBytes, t.complete))
+			sys.crossLinks[to][from].Send(packetOf(respBytes, t.complete), done)
 		})
-	}))
+	}), now)
 	return true
 }

@@ -1,0 +1,62 @@
+package sim
+
+import "testing"
+
+// TestSpawnTargetRoundRobinTieBreak: with every logic-layer SM holding the
+// same number of free warp slots, spawnTarget must rotate through them
+// rather than always picking the lowest index — the scan starts at the
+// rotating cursor, so an all-equal tie resolves to each SM in turn.
+func TestSpawnTargetRoundRobinTieBreak(t *testing.T) {
+	sms := []*SM{{freeSlots: 4}, {freeSlots: 4}, {freeSlots: 4}}
+	s := &stackNode{sms: sms}
+	idx := func(sm *SM) int {
+		for i, c := range sms {
+			if c == sm {
+				return i
+			}
+		}
+		t.Fatal("spawnTarget returned an SM not in the stack")
+		return -1
+	}
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, idx(s.spawnTarget()))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("equal-slot tie-break order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSpawnTargetPrefersFreeSlots: an SM with strictly more free slots wins
+// regardless of where the rotation cursor sits, and the rotation resumes
+// after the chosen SM, not after the cursor.
+func TestSpawnTargetPrefersFreeSlots(t *testing.T) {
+	sms := []*SM{{freeSlots: 2}, {freeSlots: 5}, {freeSlots: 2}}
+	for start := 0; start < 3; start++ {
+		s := &stackNode{sms: sms, nextSM: start}
+		if got := s.spawnTarget(); got != sms[1] {
+			t.Fatalf("cursor at %d: picked an SM with %d free slots, want the 5-slot one",
+				start, got.freeSlots)
+		}
+		// Rotation advances past the chosen SM: a follow-up all-equal tie
+		// starts the scan at index 2, not back at the cursor.
+		sms[1].freeSlots = 2
+		if got := s.spawnTarget(); got != sms[2] {
+			t.Fatalf("cursor at %d: post-pick rotation chose index %d, want 2",
+				start, idxOf(sms, got))
+		}
+		sms[1].freeSlots = 5
+	}
+}
+
+func idxOf(sms []*SM, sm *SM) int {
+	for i, c := range sms {
+		if c == sm {
+			return i
+		}
+	}
+	return -1
+}

@@ -59,6 +59,7 @@ type System struct {
 	learnGoal  int
 
 	now           int64
+	executed      int64 // cycles actually stepped (== now in per-cycle mode)
 	inflight      int
 	frozenUntil   int64
 	learnDeadline int64
@@ -531,19 +532,53 @@ func (sys *System) stepCycle(lc *launchCtx, elide bool) {
 		}
 	}
 	sys.l2.tick(now)
+	// AdvanceTo, not a per-cycle Tick: in event mode `now` may be far past
+	// the last executed cycle, and the links bulk-account the skipped span.
+	// Idle links take the SkipTo fast path — it only moves the accounting
+	// point, which Send needs to see (a send from a later deliver callback
+	// this cycle must start its burst next cycle, exactly as if the idle
+	// link had taken a full turn).
 	for s := 0; s < sys.cfg.Stacks; s++ {
-		sys.txLinks[s].Tick(now)
-		sys.rxLinks[s].Tick(now)
+		if l := sys.txLinks[s]; l.Active() {
+			l.AdvanceTo(now)
+		} else {
+			l.SkipTo(now)
+		}
+		if l := sys.rxLinks[s]; l.Active() {
+			l.AdvanceTo(now)
+		} else {
+			l.SkipTo(now)
+		}
 		for t := 0; t < sys.cfg.Stacks; t++ {
 			if s != t {
-				sys.crossLinks[s][t].Tick(now)
+				if l := sys.crossLinks[s][t]; l.Active() {
+					l.AdvanceTo(now)
+				} else {
+					l.SkipTo(now)
+				}
 			}
 		}
 	}
-	sys.pcieTX.Tick(now)
-	sys.pcieRX.Tick(now)
+	if l := sys.pcieTX; l.Active() {
+		l.AdvanceTo(now)
+	} else {
+		l.SkipTo(now)
+	}
+	if l := sys.pcieRX; l.Active() {
+		l.AdvanceTo(now)
+	} else {
+		l.SkipTo(now)
+	}
+	sys.executed++
 	sys.now++
 }
+
+// ExecutedCycles returns how many cycles the loop actually stepped. In
+// per-cycle mode this equals Stats().Cycles; in event mode the difference
+// is the number of skipped (provably inert) cycles. Deliberately not part
+// of Stats: the two loop modes are pinned byte-identical on Stats, and this
+// is precisely the number that differs between them.
+func (sys *System) ExecutedCycles() int64 { return sys.executed }
 
 // dispatchPending reports whether stepCycle's CTA dispatch would place a
 // CTA right now. Mirrors the gates in stepCycle exactly: waiting CTAs, the
@@ -586,24 +621,13 @@ func (sys *System) nextEventCycle(lc *launchCtx) int64 {
 	}
 
 	// Busy-now components that tick every cycle regardless of the freeze:
-	// an L2 bank with queued transactions, or a link still serializing.
+	// an L2 bank with queued transactions. (Links are no longer in this
+	// set: serialization is accounted lazily, so a link mid-packet has no
+	// per-cycle work — its NextEvent below reports the delivery cycle.)
 	for _, b := range sys.l2.banks {
 		if len(b.queue) > 0 {
 			return now
 		}
-	}
-	for s := 0; s < sys.cfg.Stacks; s++ {
-		if sys.txLinks[s].QueuedPackets() > 0 || sys.rxLinks[s].QueuedPackets() > 0 {
-			return now
-		}
-		for t := 0; t < sys.cfg.Stacks; t++ {
-			if s != t && sys.crossLinks[s][t].QueuedPackets() > 0 {
-				return now
-			}
-		}
-	}
-	if sys.pcieTX.QueuedPackets() > 0 || sys.pcieRX.QueuedPackets() > 0 {
-		return now
 	}
 
 	// Busy-now components gated by the learning freeze (SMs, stacks, CTA
@@ -615,17 +639,14 @@ func (sys *System) nextEventCycle(lc *launchCtx) int64 {
 			break
 		}
 	}
+	// (Vaults with queued requests are not "busy now": their NextEvent
+	// reports the exact first cycle issue arbitration can accept work, and
+	// the freeze clamp below already holds it at frozenUntil.)
 	if !gatedBusy {
 	stacks:
 		for _, st := range sys.stacks {
 			for _, sm := range st.sms {
 				if sm.runnableNow() {
-					gatedBusy = true
-					break stacks
-				}
-			}
-			for _, v := range st.vaults {
-				if v.QueueLen() > 0 {
 					gatedBusy = true
 					break stacks
 				}
@@ -679,8 +700,10 @@ func (sys *System) nextEventCycle(lc *launchCtx) int64 {
 	}
 
 	// Timed sources gated by the freeze: per-SM ring events and vault
-	// completions only fire once the owning component ticks again, i.e.
-	// (for ring events) at the first post-freeze cycle matching their slot.
+	// horizons (both issue opportunities and completions) only fire once
+	// the owning component ticks again, i.e. (for ring events) at the first
+	// post-freeze cycle matching their slot and (for vaults) no earlier
+	// than frozenUntil.
 	gateBase := now
 	if frozen {
 		gateBase = sys.frozenUntil

@@ -73,22 +73,37 @@ const (
 )
 
 // bitset is a small dense bitset for warp readiness (stack SMs can hold
-// 4x48 = 192 warps in the §6.4 study).
-type bitset struct{ w []uint64 }
+// 4x48 = 192 warps in the §6.4 study). nz counts nonzero words so any()
+// — the wake-horizon computation's hottest probe, called for every SM on
+// every executed cycle — is a field read instead of a scan.
+type bitset struct {
+	w  []uint64
+	nz int
+}
 
 func newBitset(n int) bitset { return bitset{w: make([]uint64, (n+63)/64)} }
 
-func (b *bitset) set(i int)      { b.w[i>>6] |= 1 << (i & 63) }
-func (b *bitset) clear(i int)    { b.w[i>>6] &^= 1 << (i & 63) }
-func (b *bitset) get(i int) bool { return b.w[i>>6]&(1<<(i&63)) != 0 }
-func (b *bitset) any() bool {
-	for _, x := range b.w {
-		if x != 0 {
-			return true
-		}
+func (b *bitset) set(i int) {
+	w := &b.w[i>>6]
+	if *w == 0 {
+		b.nz++
 	}
-	return false
+	*w |= 1 << (i & 63)
 }
+
+func (b *bitset) clear(i int) {
+	w := &b.w[i>>6]
+	if *w == 0 {
+		return
+	}
+	*w &^= 1 << (i & 63)
+	if *w == 0 {
+		b.nz--
+	}
+}
+
+func (b *bitset) get(i int) bool { return b.w[i>>6]&(1<<(i&63)) != 0 }
+func (b *bitset) any() bool      { return b.nz > 0 }
 
 // first returns the lowest set index, or -1.
 func (b *bitset) first() int {
